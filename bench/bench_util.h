@@ -1,0 +1,61 @@
+// Shared helpers for the figure benches: standard host/SSD construction
+// matching the paper's testbed (§4.1: one GPU, up to three Gen4 SSDs,
+// 128 QPs x depth 256 by default), quick-mode scaling, and result printing.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "bam/bam_ctrl.h"
+#include "common/table.h"
+#include "core/ctrl.h"
+#include "core/host.h"
+
+namespace agile::bench {
+
+// --quick trims sweep sizes so the full bench suite stays in CI budgets.
+inline bool quickMode(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) return true;
+  }
+  return std::getenv("AGILE_BENCH_QUICK") != nullptr;
+}
+
+struct TestbedConfig {
+  std::uint32_t ssds = 1;
+  std::uint32_t queuePairsPerSsd = 32;  // paper default 128; scaled with GPU
+  std::uint32_t queueDepth = 256;
+  std::uint32_t serviceWarps = 2;
+  std::uint64_t ssdCapacityLbas = 1ull << 22;  // 16 GiB of pages
+  std::uint32_t payloadBytes = 0;  // 0 = full 4 KiB DMA payloads
+};
+
+inline std::unique_ptr<core::AgileHost> makeHost(const TestbedConfig& tb) {
+  core::HostConfig cfg;
+  cfg.queuePairsPerSsd = tb.queuePairsPerSsd;
+  cfg.queueDepth = tb.queueDepth;
+  cfg.service.warps = tb.serviceWarps;
+  cfg.stagingPages = 4096;
+  cfg.kernelTimeout = 120_s;
+  auto host = std::make_unique<core::AgileHost>(cfg);
+  for (std::uint32_t i = 0; i < tb.ssds; ++i) {
+    nvme::SsdConfig ssd;
+    ssd.name = "nvme" + std::to_string(i);
+    ssd.capacityLbas = tb.ssdCapacityLbas;
+    ssd.payloadBytes = tb.payloadBytes;
+    host->addNvmeDev(ssd);
+  }
+  host->initNvme();
+  return host;
+}
+
+inline double toMs(SimTime ns) { return static_cast<double>(ns) / 1e6; }
+
+inline void printHeader(const char* fig, const char* what) {
+  std::printf("=== %s: %s ===\n", fig, what);
+}
+
+}  // namespace agile::bench

@@ -1,0 +1,59 @@
+// Calibration probe (not a paper figure): prints the per-mode timing and
+// cache/IO breakdown of the DLRM pipeline so cost-model changes can be
+// sanity-checked quickly.
+#include <cstdio>
+
+#include "apps/dlrm/dlrm.h"
+#include "bench/bench_util.h"
+
+using namespace agile;
+
+int main(int argc, char** argv) {
+  const bool quick = bench::quickMode(argc, argv);
+  const std::uint32_t batch = quick ? 2048 : 2048;
+  const std::uint32_t epochs = quick ? 3 : 8;
+
+  for (int mode = 0; mode < 3; ++mode) {
+    bench::TestbedConfig tb;
+    tb.queuePairsPerSsd = 32;
+    tb.queueDepth = 256;
+    auto host = bench::makeHost(tb);
+    auto cfg = apps::dlrmPaperConfig(1, /*vocabScale=*/16);
+    apps::DlrmTrace trace(cfg, 13);
+    apps::DlrmRunResult res;
+    const char* name;
+    if (mode == 0) {
+      name = "BaM       ";
+      bam::DefaultBamCtrl bamCtrl(*host, bam::BamConfig{.cacheLines = 32768});
+      res = apps::runDlrm<core::DefaultCtrl>(*host, cfg, trace,
+                                             apps::DlrmMode::kBam, nullptr,
+                                             &bamCtrl, batch, epochs);
+      std::printf("%s pollRounds=%llu drained=%llu\n", name,
+                  (unsigned long long)bamCtrl.stats().pollRounds,
+                  (unsigned long long)bamCtrl.stats().completionsDrained);
+    } else {
+      name = mode == 1 ? "AGILE sync " : "AGILE async";
+      core::DefaultCtrl ctrl(*host, core::CtrlConfig{.cacheLines = 32768});
+      host->startAgile();
+      res = apps::runDlrm(*host, cfg, trace,
+                          mode == 1 ? apps::DlrmMode::kAgileSync
+                                    : apps::DlrmMode::kAgileAsync,
+                          &ctrl, nullptr, batch, epochs);
+      std::printf("%s svcCompl=%llu svcRounds=%llu stalls=%llu busyHits=%llu"
+                  " pfDrop=%llu\n",
+                  name, (unsigned long long)host->service().stats().completions,
+                  (unsigned long long)host->service().stats().pollRounds,
+                  (unsigned long long)ctrl.cache().stats().victimStalls,
+                  (unsigned long long)ctrl.cache().stats().busyHits,
+                  (unsigned long long)ctrl.stats().prefetchDropped);
+      host->stopAgile();
+    }
+    std::printf(
+        "%s total=%.3f ms perEpoch=%.3f ms ssdReads=%llu hits=%llu "
+        "misses=%llu busy=%.2f\n",
+        name, bench::toMs(res.totalNs), bench::toMs(res.perEpochNs),
+        (unsigned long long)res.ssdReads, (unsigned long long)res.cacheHits,
+        (unsigned long long)res.cacheMisses, host->gpu().smBusyFraction());
+  }
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Shared harness for the DLRM benches (Figures 7-10): builds a fresh
+// host + controller per data point and runs the §4.4 pipeline in one of the
+// three modes. All DLRM figures share the testbed defaults of §4.4 — clock
+// cache, 128-QP-class queue setup, batch 2048 — unless the sweep overrides
+// them. The vocabulary is scaled by 1/16 (printed); ratios are preserved.
+#pragma once
+
+#include <cstdio>
+
+#include "apps/dlrm/dlrm.h"
+#include "bench/bench_util.h"
+
+namespace agile::bench {
+
+struct DlrmPoint {
+  int configVariant = 1;
+  std::uint32_t batch = 2048;
+  std::uint32_t epochs = 4;
+  std::uint32_t warmup = 1;
+  std::uint32_t queuePairs = 32;
+  std::uint32_t queueDepth = 256;
+  std::uint32_t cacheLines = 32768;  // = 128 MiB at 4 KiB lines (2 GiB /16)
+  std::uint32_t vocabScale = 16;
+  std::uint64_t seed = 13;
+};
+
+inline apps::DlrmRunResult runDlrmPoint(const DlrmPoint& p,
+                                        apps::DlrmMode mode) {
+  TestbedConfig tb;
+  tb.queuePairsPerSsd = p.queuePairs;
+  tb.queueDepth = p.queueDepth;
+  auto host = makeHost(tb);
+  auto cfg = apps::dlrmPaperConfig(p.configVariant, p.vocabScale);
+  AGILE_CHECK(cfg.embeddingPages() <= host->ssd(0).flash().capacityLbas());
+  apps::DlrmTrace trace(cfg, p.seed);
+
+  if (mode == apps::DlrmMode::kBam) {
+    bam::DefaultBamCtrl bamCtrl(*host,
+                                bam::BamConfig{.cacheLines = p.cacheLines});
+    return apps::runDlrm<core::DefaultCtrl>(*host, cfg, trace, mode, nullptr,
+                                            &bamCtrl, p.batch, p.epochs,
+                                            p.warmup);
+  }
+  core::DefaultCtrl ctrl(*host, core::CtrlConfig{.cacheLines = p.cacheLines});
+  host->startAgile();
+  auto res =
+      apps::runDlrm(*host, cfg, trace, mode, &ctrl, nullptr, p.batch,
+                    p.epochs, p.warmup);
+  host->stopAgile();
+  return res;
+}
+
+// Speedups of (AGILE sync, AGILE async) normalized to BaM for one point.
+struct DlrmTriple {
+  apps::DlrmRunResult bam, sync, async;
+  double syncSpeedup() const {
+    return static_cast<double>(bam.totalNs) /
+           static_cast<double>(sync.totalNs);
+  }
+  double asyncSpeedup() const {
+    return static_cast<double>(bam.totalNs) /
+           static_cast<double>(async.totalNs);
+  }
+};
+
+inline DlrmTriple runDlrmTriple(const DlrmPoint& p) {
+  DlrmTriple t;
+  t.bam = runDlrmPoint(p, apps::DlrmMode::kBam);
+  t.sync = runDlrmPoint(p, apps::DlrmMode::kAgileSync);
+  t.async = runDlrmPoint(p, apps::DlrmMode::kAgileAsync);
+  return t;
+}
+
+inline void printDlrmScaleNote(const DlrmPoint& p) {
+  std::printf(
+      "(vocabulary scaled 1/%u vs Criteo-scale; cache %u lines = %.0f MiB; "
+      "batch %u, %u epochs after %u warmup)\n",
+      p.vocabScale, p.cacheLines,
+      static_cast<double>(p.cacheLines) * nvme::kLbaBytes / (1 << 20),
+      p.batch, p.epochs, p.warmup);
+}
+
+}  // namespace agile::bench

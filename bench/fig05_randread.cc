@@ -1,0 +1,16 @@
+// Figure 5: AGILE 4 KiB random-read bandwidth vs. number of requests per
+// SSD, on 1/2/3 SSDs accessed in an interleaved manner (§4.3). The paper's
+// curves rise with request count and saturate at ≈3.7 / 7.4 / 11.1 GB/s.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "bench/randio_common.h"
+
+int main(int argc, char** argv) {
+  const bool quick = agile::bench::quickMode(argc, argv);
+  agile::bench::printHeader(
+      "Figure 5", "AGILE 4KB random read bandwidth on multiple SSDs");
+  agile::bench::runRandIoSweep(/*isRead=*/true, quick);
+  return 0;
+}

@@ -1,0 +1,14 @@
+// Figure 6: AGILE 4 KiB random-write bandwidth vs. number of requests per
+// SSD, on 1/2/3 SSDs (§4.3). Paper saturation: ≈2.2 / 4.4 / 6.7 GB/s.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "bench/randio_common.h"
+
+int main(int argc, char** argv) {
+  const bool quick = agile::bench::quickMode(argc, argv);
+  agile::bench::printHeader(
+      "Figure 6", "AGILE 4KB random write bandwidth on multiple SSDs");
+  agile::bench::runRandIoSweep(/*isRead=*/false, quick);
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Figure 7: DLRM end-to-end speedup of AGILE (sync and async modes) over
+// BaM across the three model configurations of §4.4.
+// Paper: sync 1.30/1.39/1.27x, async 1.48/1.63/1.32x for Config-1/2/3.
+#include <cstdio>
+
+#include "bench/dlrm_common.h"
+
+using namespace agile;
+
+int main(int argc, char** argv) {
+  const bool quick = bench::quickMode(argc, argv);
+  bench::printHeader("Figure 7",
+                     "AGILE vs BaM on DLRM Config-1/2/3 (batch 2048)");
+
+  TablePrinter table({"config", "BaM(ms/epoch)", "AGILE sync", "AGILE async",
+                      "sync x", "async x"});
+  for (int variant = 1; variant <= 3; ++variant) {
+    bench::DlrmPoint p;
+    p.configVariant = variant;
+    p.epochs = quick ? 2 : 4;
+    if (variant == 1) bench::printDlrmScaleNote(p);
+    const auto t = bench::runDlrmTriple(p);
+    table.addRow({"Config-" + std::to_string(variant),
+                  TablePrinter::fmt(bench::toMs(t.bam.perEpochNs), 3),
+                  TablePrinter::fmt(bench::toMs(t.sync.perEpochNs), 3),
+                  TablePrinter::fmt(bench::toMs(t.async.perEpochNs), 3),
+                  TablePrinter::fmt(t.syncSpeedup()),
+                  TablePrinter::fmt(t.asyncSpeedup())});
+  }
+  table.print();
+  std::printf("paper: sync 1.30/1.39/1.27x, async 1.48/1.63/1.32x\n");
+  return 0;
+}

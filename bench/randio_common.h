@@ -1,0 +1,100 @@
+// Shared harness for the Figure 5/6 bandwidth sweeps: N 4 KiB random
+// requests per SSD are spread over up to 8192 GPU threads issuing
+// async_issue transfers into per-thread buffers, with requests striped
+// round-robin across the SSDs (request 0 -> SSD0, 1 -> SSD1, ... as in
+// §4.3). Aggregate bandwidth = total bytes / virtual makespan.
+#pragma once
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "core/ctrl.h"
+
+namespace agile::bench {
+
+inline double randIoBandwidth(std::uint32_t ssds, std::uint64_t reqPerSsd,
+                              bool isRead) {
+  using Ctrl = core::AgileCtrl<core::ClockPolicy, core::NeverSharePolicy>;
+  TestbedConfig tb;
+  tb.ssds = ssds;
+  tb.queuePairsPerSsd = 32;
+  tb.queueDepth = 256;
+  tb.payloadBytes = 64;  // timing unchanged; bounds host memory in sweeps
+  auto host = makeHost(tb);
+  Ctrl ctrl(*host, core::CtrlConfig{.cacheLines = 64});
+  host->startAgile();
+
+  const std::uint64_t totalReqs = reqPerSsd * ssds;
+  const std::uint32_t threads =
+      static_cast<std::uint32_t>(std::min<std::uint64_t>(totalReqs, 8192));
+  const std::uint32_t blockDim = std::min<std::uint32_t>(threads, 128);
+  const std::uint32_t gridDim = ceilDiv(threads, blockDim);
+
+  auto bufMem = host->gpu().hbm().allocBytes(
+      static_cast<std::uint64_t>(threads) * nvme::kLbaBytes);
+  std::vector<core::AgileBuf> bufs(threads);
+  for (std::uint32_t i = 0; i < threads; ++i) {
+    bufs[i].bind(bufMem + static_cast<std::uint64_t>(i) * nvme::kLbaBytes);
+  }
+
+  const std::uint64_t capacity = host->ssd(0).flash().capacityLbas();
+  const SimTime start = host->engine().now();
+  const bool ok = host->runKernel(
+      {.gridDim = gridDim, .blockDim = blockDim, .name = "randio"},
+      [&](gpu::KernelCtx& ctx) -> gpu::GpuTask<void> {
+        core::AgileLockChain chain;
+        const std::uint32_t tid = ctx.globalThreadIdx();
+        if (tid >= threads) co_return;
+        core::AgileBufPtr buf(bufs[tid]);
+        for (std::uint64_t r = tid; r < totalReqs;
+             r += threads) {
+          // Interleaved striping across SSDs; random LBA from a hash.
+          const auto dev = static_cast<std::uint32_t>(r % ssds);
+          std::uint64_t h = (r / ssds) * 0x9e3779b97f4a7c15ull + 0x1234;
+          h ^= h >> 31;
+          const std::uint64_t lba = h % capacity;
+          if (isRead) {
+            co_await ctrl.asyncRead(ctx, dev, lba, buf, chain);
+          } else {
+            co_await ctrl.asyncWrite(ctx, dev, lba, buf, chain);
+          }
+          co_await ctrl.waitBuf(ctx, buf);
+        }
+      });
+  AGILE_CHECK(ok);
+  AGILE_CHECK(host->drainIo());
+  const SimTime ns = host->engine().now() - start;
+  host->stopAgile();
+  const double bytes = static_cast<double>(totalReqs) * nvme::kLbaBytes;
+  return bytes / (static_cast<double>(ns) / 1e9);
+}
+
+inline void runRandIoSweep(bool isRead, bool quick) {
+  // The largest paper point (262144) adds ~10x runtime for a flat tail; the
+  // default sweep stops at 65536 (already well past saturation).
+  std::vector<std::uint64_t> reqs = {1, 8, 64, 512, 4096, 32768, 65536};
+  if (quick) reqs = {8, 512, 4096, 32768};
+
+  TablePrinter table({"#req/SSD", "1 SSD (GB/s)", "2 SSDs (GB/s)",
+                      "3 SSDs (GB/s)"});
+  double sat[4] = {0, 0, 0, 0};
+  for (auto n : reqs) {
+    std::vector<std::string> row{std::to_string(n)};
+    for (std::uint32_t ssds = 1; ssds <= 3; ++ssds) {
+      const double bw = randIoBandwidth(ssds, n, isRead);
+      if (bw > sat[ssds]) sat[ssds] = bw;
+      row.push_back(TablePrinter::fmtGiBps(bw));
+    }
+    table.addRow(std::move(row));
+  }
+  table.print();
+  std::printf("saturation: %.2f / %.2f / %.2f GB/s with 1/2/3 SSDs "
+              "(paper: %s)\n",
+              sat[1] / 1e9, sat[2] / 1e9, sat[3] / 1e9,
+              isRead ? "3.7 / 7.4 / 11.1" : "2.2 / 4.4 / 6.7");
+}
+
+}  // namespace agile::bench

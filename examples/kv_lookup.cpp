@@ -1,0 +1,109 @@
+// Example: a GPU-side key-value lookup service over an SSD-resident table —
+// the kind of application the paper's intro motivates (data far exceeding
+// GPU memory, fine-grained random access). Keys hash to SSD pages holding
+// fixed-size records; lookups run through the AGILE software cache with
+// warp-level coalescing, and a Zipfian query stream shows the cache doing
+// its job. Also demonstrates writes (record update) through asyncWrite.
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/ctrl.h"
+#include "core/host.h"
+
+using namespace agile;
+
+namespace {
+
+struct Record {
+  std::uint64_t key;
+  std::uint64_t value;
+  std::uint8_t pad[48];  // 64 B records, 64 per page
+};
+static_assert(sizeof(Record) == 64);
+
+constexpr std::uint32_t kRecordsPerPage = nvme::kLbaBytes / sizeof(Record);
+constexpr std::uint64_t kNumRecords = 1u << 18;  // 256 Ki records, 16 MiB
+
+std::uint64_t keyToElem(std::uint64_t key) { return key % kNumRecords; }
+
+}  // namespace
+
+int main() {
+  core::HostConfig hostCfg;
+  hostCfg.queuePairsPerSsd = 8;
+  hostCfg.queueDepth = 128;
+  core::AgileHost host(hostCfg);
+  nvme::SsdConfig ssd;
+  ssd.capacityLbas = kNumRecords / kRecordsPerPage + 8;
+  host.addNvmeDev(ssd);
+  host.initNvme();
+
+  // Populate the table through a content provider: record i has key i and
+  // value i*3 — no need to materialize 16 MiB.
+  host.ssd(0).flash().setContentProvider([](std::uint64_t lba, std::byte* out) {
+    auto* recs = reinterpret_cast<Record*>(out);
+    for (std::uint32_t r = 0; r < kRecordsPerPage; ++r) {
+      const std::uint64_t idx = lba * kRecordsPerPage + r;
+      recs[r] = Record{.key = idx, .value = idx * 3, .pad = {}};
+    }
+  });
+
+  core::DefaultCtrl ctrl(host, core::CtrlConfig{.cacheLines = 512});
+  host.startAgile();
+
+  // Zipfian query stream: 8192 lookups from 512 threads.
+  const std::uint32_t kThreads = 512, kLookupsPerThread = 16;
+  Rng rng(7);
+  ZipfSampler zipf(kNumRecords, 1.1);
+  std::vector<std::uint64_t> queries(kThreads * kLookupsPerThread);
+  for (auto& q : queries) q = zipf(rng);
+
+  std::uint64_t wrong = 0;
+  const SimTime t0 = host.engine().now();
+  bool ok = host.runKernel(
+      {.gridDim = 4, .blockDim = 128, .name = "kv-lookup"},
+      [&](gpu::KernelCtx& ctx) -> gpu::GpuTask<void> {
+        core::AgileLockChain chain;
+        const std::uint32_t tid = ctx.globalThreadIdx();
+        for (std::uint32_t i = 0; i < kLookupsPerThread; ++i) {
+          const std::uint64_t key = queries[tid * kLookupsPerThread + i];
+          const std::uint64_t elem = keyToElem(key);
+          // Each record is 8 uint64 words; word 1 is the value.
+          const auto value = co_await ctrl.arrayRead<std::uint64_t>(
+              ctx, 0, elem * 8 + 1, chain);
+          if (value != key * 3) ++wrong;
+        }
+      });
+  AGILE_CHECK(ok);
+  const double lookupMs = static_cast<double>(host.engine().now() - t0) / 1e6;
+
+  // Update one record through the coherent write path and read it back.
+  std::uint64_t readBack = 0;
+  ok = host.runKernel(
+      {.gridDim = 1, .blockDim = 1, .name = "kv-update"},
+      [&](gpu::KernelCtx& ctx) -> gpu::GpuTask<void> {
+        core::AgileLockChain chain;
+        co_await ctrl.arrayWrite<std::uint64_t>(ctx, 0, 42 * 8 + 1, 999999,
+                                                chain);
+        readBack = co_await ctrl.arrayRead<std::uint64_t>(ctx, 0, 42 * 8 + 1,
+                                                          chain);
+      });
+  AGILE_CHECK(ok);
+  host.stopAgile();
+
+  const auto& cs = ctrl.cache().stats();
+  std::printf("%u lookups in %.3f ms virtual (%.1f%% cache hit rate, "
+              "%llu SSD reads)\n",
+              kThreads * kLookupsPerThread, lookupMs,
+              100.0 * static_cast<double>(cs.hits) /
+                  static_cast<double>(cs.hits + cs.misses),
+              (unsigned long long)host.ssd(0).readsCompleted());
+  std::printf("wrong values: %llu; updated record 42 -> %llu (expect "
+              "999999)\n",
+              (unsigned long long)wrong, (unsigned long long)readBack);
+  const bool pass = wrong == 0 && readBack == 999999;
+  std::printf("%s\n", pass ? "KV DEMO OK" : "KV DEMO FAILED");
+  return pass ? 0 : 1;
+}

@@ -1,0 +1,86 @@
+// Storage accessors: a compile-time abstraction that lets one application
+// kernel (BFS, SpMV, vector-mean, DLRM gather) run unchanged over
+//   - NativeAccessor : data resident in HBM (the "Kernel time" baseline of
+//                      the §4.5 three-step methodology),
+//   - AgileAccessor  : AGILE's synchronous array API,
+//   - BamAccessor    : BaM's synchronous reads.
+// This mirrors how the paper swaps the underlying I/O library while keeping
+// kernels identical for fair API-overhead comparison.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "bam/bam_ctrl.h"
+#include "core/ctrl.h"
+#include "core/lock.h"
+#include "gpu/exec.h"
+#include "gpu/regmodel.h"
+
+namespace agile::apps {
+
+// Data resident in simulated HBM; charges only the plain word-access cost.
+template <class T>
+class NativeAccessor {
+ public:
+  explicit NativeAccessor(std::span<const T> data) : data_(data) {}
+
+  gpu::GpuTask<T> read(gpu::KernelCtx& ctx, std::uint64_t idx,
+                       core::AgileLockChain&) {
+    ctx.charge(cost::kWordAccess);
+    co_return data_[idx];
+  }
+
+  static constexpr gpu::IoApiPath kRegPath = gpu::IoApiPath::kNone;
+
+ private:
+  std::span<const T> data_;
+};
+
+// AGILE synchronous array view over one SSD.
+template <class T, class Ctrl = core::DefaultCtrl>
+class AgileAccessor {
+ public:
+  AgileAccessor(Ctrl& ctrl, std::uint32_t dev) : ctrl_(&ctrl), dev_(dev) {}
+
+  gpu::GpuTask<T> read(gpu::KernelCtx& ctx, std::uint64_t idx,
+                       core::AgileLockChain& chain) {
+    co_return co_await ctrl_->template arrayRead<T>(ctx, dev_, idx, chain);
+  }
+
+  gpu::GpuTask<void> prefetchElem(gpu::KernelCtx& ctx, std::uint64_t idx,
+                                  core::AgileLockChain& chain) {
+    const std::uint64_t lba = idx * sizeof(T) / nvme::kLbaBytes;
+    co_await ctrl_->prefetch(ctx, dev_, lba, chain);
+  }
+
+  Ctrl& ctrl() { return *ctrl_; }
+
+  static constexpr gpu::IoApiPath kRegPath = gpu::IoApiPath::kAgileArrayRead;
+
+ private:
+  Ctrl* ctrl_;
+  std::uint32_t dev_;
+};
+
+// BaM synchronous reads over one SSD.
+template <class T, class Bam = bam::DefaultBamCtrl>
+class BamAccessor {
+ public:
+  BamAccessor(Bam& bam, std::uint32_t dev) : bam_(&bam), dev_(dev) {}
+
+  gpu::GpuTask<T> read(gpu::KernelCtx& ctx, std::uint64_t idx,
+                       core::AgileLockChain& chain) {
+    co_return co_await bam_->template readElem<T>(ctx, dev_, idx, chain);
+  }
+
+  Bam& ctrl() { return *bam_; }
+
+  static constexpr gpu::IoApiPath kRegPath = gpu::IoApiPath::kBamSyncRead;
+
+ private:
+  Bam* bam_;
+  std::uint32_t dev_;
+};
+
+}  // namespace agile::apps

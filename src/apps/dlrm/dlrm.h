@@ -1,0 +1,104 @@
+// DLRM inference pipeline (§4.4): embedding gather from SSD-resident tables
+// through AGILE or BaM, overlapped (or not) with the bottom/top MLP compute.
+//
+// The Criteo 1TB dataset is unavailable offline; categorical accesses are
+// synthesized per DESIGN.md with Criteo's 26 categorical features and a
+// Zipfian per-table row distribution, with a vocabulary mix of a few huge,
+// several medium, and many small tables. The embedding values themselves
+// come from the flash store's deterministic pattern (the timing path never
+// depends on them).
+//
+// Three execution modes mirror the paper's comparison:
+//   kBam        — BaM synchronous gather, then MLP (same epoch)
+//   kAgileSync  — AGILE array API gather, then MLP (same epoch)
+//   kAgileAsync — AGILE prefetch of epoch i+1 overlapped with MLP of epoch i
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "apps/dlrm/mlp.h"
+#include "bam/bam_ctrl.h"
+#include "common/rng.h"
+#include "core/ctrl.h"
+#include "core/host.h"
+
+namespace agile::apps {
+
+struct DlrmConfig {
+  std::uint32_t numTables = 26;
+  std::uint32_t embDim = 32;  // floats per embedding row (128 B)
+  std::vector<std::uint64_t> tableRows;
+  double zipfTheta = 1.2;
+  MlpSpec bottomMlp;
+  MlpSpec topMlp;
+  std::uint32_t embeddingDev = 0;  // SSD index holding the tables
+
+  std::uint64_t totalRows() const {
+    std::uint64_t n = 0;
+    for (auto r : tableRows) n += r;
+    return n;
+  }
+  std::uint32_t rowsPerPage() const {
+    return nvme::kLbaBytes / (embDim * sizeof(float));
+  }
+  std::uint64_t embeddingPages() const {
+    return ceilDiv(totalRows(), static_cast<std::uint64_t>(rowsPerPage()));
+  }
+  SimTime mlpNs(std::uint32_t batch) const {
+    return mlpForwardNs(bottomMlp, batch) + mlpForwardNs(topMlp, batch);
+  }
+};
+
+// The paper's three model variants (§4.4), with the vocabulary scaled down
+// by `vocabScale` (sizes printed by the benches; ratios preserved).
+DlrmConfig dlrmPaperConfig(int variant, std::uint32_t vocabScale = 16);
+
+// One epoch's categorical indices: batch x numTables row ids (flattened,
+// sample-major).
+class DlrmTrace {
+ public:
+  DlrmTrace(const DlrmConfig& cfg, std::uint64_t seed);
+
+  // Deterministically (re)generate the indices of epoch `epoch` at the given
+  // batch size into an internal buffer; returns it.
+  const std::vector<std::uint64_t>& epochRows(std::uint32_t epoch,
+                                              std::uint32_t batch);
+
+ private:
+  const DlrmConfig* cfg_;
+  std::uint64_t seed_;
+  std::vector<ZipfSampler> samplers_;
+  std::vector<std::uint64_t> tableBase_;  // first global row of each table
+  std::vector<std::uint64_t> rows_;
+};
+
+struct DlrmRunResult {
+  SimTime totalNs = 0;
+  SimTime perEpochNs = 0;
+  std::uint64_t cacheHits = 0;
+  std::uint64_t cacheMisses = 0;
+  std::uint64_t ssdReads = 0;
+};
+
+enum class DlrmMode { kBam, kAgileSync, kAgileAsync };
+
+// Run `epochs` timed inference iterations at `batch` (after `warmupEpochs`
+// untimed cache-warming iterations, mirroring the steady state the paper's
+// 10,000-epoch runs measure); gathers go through `ctrl` (AGILE modes) or
+// `bamCtrl` (BaM mode) on `host`. AgileCtrlT is any AgileCtrl instantiation.
+template <class AgileCtrlT>
+DlrmRunResult runDlrm(core::AgileHost& host, const DlrmConfig& cfg,
+                      DlrmTrace& trace, DlrmMode mode, AgileCtrlT* ctrl,
+                      bam::DefaultBamCtrl* bamCtrl, std::uint32_t batch,
+                      std::uint32_t epochs, std::uint32_t warmupEpochs = 1);
+
+// Gather kernel body shared by the runners (declared here for tests).
+// Reads one word of each sample's embedding rows and charges the row-copy
+// cost; rows are translated to element indices of the embedding array.
+inline constexpr SimTime kEmbRowCopyNs = 20;
+
+}  // namespace agile::apps
+
+#include "apps/dlrm/dlrm_impl.h"

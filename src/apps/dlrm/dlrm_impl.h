@@ -1,0 +1,165 @@
+// Template implementation of the DLRM pipeline runner (included from
+// dlrm.h). Kept separate so dlrm.h stays readable.
+#pragma once
+
+#include <algorithm>
+
+namespace agile::apps {
+namespace detail {
+
+// Row id -> element index of the embedding word array (16 uint64 words per
+// 128 B row).
+inline std::uint64_t rowToElem(const DlrmConfig& cfg, std::uint64_t row) {
+  return row * (cfg.embDim * sizeof(float) / sizeof(std::uint64_t));
+}
+
+inline std::uint64_t rowToLba(const DlrmConfig& cfg, std::uint64_t row) {
+  return row / cfg.rowsPerPage();
+}
+
+inline gpu::LaunchConfig gatherLaunch(std::uint32_t batch, const char* name) {
+  const std::uint32_t blockDim = std::min<std::uint32_t>(128, batch);
+  const std::uint32_t gridDim =
+      std::min<std::uint32_t>(64, ceilDiv(batch, blockDim));
+  return {.gridDim = gridDim, .blockDim = blockDim, .name = name};
+}
+
+}  // namespace detail
+
+template <class AgileCtrlT>
+DlrmRunResult runDlrm(core::AgileHost& host, const DlrmConfig& cfg,
+                      DlrmTrace& trace, DlrmMode mode, AgileCtrlT* ctrl,
+                      bam::DefaultBamCtrl* bamCtrl, std::uint32_t batch,
+                      std::uint32_t epochs, std::uint32_t warmupEpochs) {
+  AGILE_CHECK(mode == DlrmMode::kBam ? bamCtrl != nullptr : ctrl != nullptr);
+  const std::uint32_t dev = cfg.embeddingDev;
+  const std::uint32_t tables = cfg.numTables;
+  const std::uint32_t totalEpochs = epochs + warmupEpochs;
+  auto& engine = host.engine();
+
+  std::uint64_t ssdReadsBefore = host.ssd(dev).readsCompleted();
+  std::uint64_t hitsBefore = 0, missesBefore = 0;
+  auto snapshotStats = [&] {
+    ssdReadsBefore = host.ssd(dev).readsCompleted();
+    if (mode == DlrmMode::kBam) {
+      hitsBefore = bamCtrl->cache().stats().hits;
+      missesBefore = bamCtrl->cache().stats().misses;
+    } else {
+      hitsBefore = ctrl->cache().stats().hits;
+      missesBefore = ctrl->cache().stats().misses;
+    }
+  };
+
+  // Per-epoch row buffers (current and, for async, next).
+  std::vector<std::uint64_t> cur = trace.epochRows(0, batch);
+
+  // Gather: one thread per sample; each reads its `tables` embedding rows.
+  auto makeGather = [&](const std::vector<std::uint64_t>& rows) {
+    return [&, rowsPtr = rows.data()](
+               gpu::KernelCtx& ctx) -> gpu::GpuTask<void> {
+      core::AgileLockChain chain;
+      const std::uint32_t stride = ctx.gridDim() * ctx.blockDim();
+      for (std::uint32_t s = ctx.globalThreadIdx(); s < batch; s += stride) {
+        for (std::uint32_t t = 0; t < tables; ++t) {
+          ctx.charge(cost::kWordAccess);  // trace lookup
+          const std::uint64_t row = rowsPtr[s * tables + t];
+          const std::uint64_t elem = detail::rowToElem(cfg, row);
+          std::uint64_t word;
+          if (mode == DlrmMode::kBam) {
+            word = co_await bamCtrl->template readElem<std::uint64_t>(
+                ctx, dev, elem, chain);
+          } else {
+            word = co_await ctrl->template arrayRead<std::uint64_t>(
+                ctx, dev, elem, chain);
+          }
+          (void)word;
+          ctx.charge(kEmbRowCopyNs);  // rest of the 128 B row copy
+        }
+        co_await ctx.yield();
+      }
+    };
+  };
+
+  // Prefetch of the next epoch (AGILE async only): warp-coalesced page
+  // prefetches into the software cache.
+  auto makePrefetch = [&](const std::vector<std::uint64_t>& rows) {
+    return [&, rowsPtr = rows.data()](
+               gpu::KernelCtx& ctx) -> gpu::GpuTask<void> {
+      core::AgileLockChain chain;
+      const std::uint32_t stride = ctx.gridDim() * ctx.blockDim();
+      for (std::uint32_t s = ctx.globalThreadIdx(); s < batch; s += stride) {
+        for (std::uint32_t t = 0; t < tables; ++t) {
+          const std::uint64_t row = rowsPtr[s * tables + t];
+          co_await ctrl->prefetch(ctx, dev, detail::rowToLba(cfg, row), chain);
+        }
+        co_await ctx.yield();
+      }
+    };
+  };
+
+  // MLP: occupy every SM for the virtual GEMM duration.
+  const SimTime mlpNs = cfg.mlpNs(batch);
+  auto mlpKernel = [&, mlpNs](gpu::KernelCtx& ctx) -> gpu::GpuTask<void> {
+    co_await gpu::compute(ctx, mlpNs, /*chunk=*/5000);
+  };
+  const gpu::LaunchConfig mlpLaunch{.gridDim = host.gpu().computeSms(),
+                                    .blockDim = 32,
+                                    .name = "dlrm-mlp"};
+
+  SimTime start = engine.now();
+
+  if (mode == DlrmMode::kAgileAsync) {
+    // Warm the pipeline: prefetch epoch 0, then steady-state overlap.
+    const bool ok = host.runKernel(detail::gatherLaunch(batch, "dlrm-prefetch"),
+                                   makePrefetch(cur));
+    AGILE_CHECK_MSG(ok, "dlrm prefetch hung");
+  }
+
+  std::vector<std::uint64_t> next;
+  for (std::uint32_t e = 0; e < totalEpochs; ++e) {
+    if (e == warmupEpochs) {
+      // Steady state reached: timing and stats start here.
+      start = engine.now();
+      snapshotStats();
+    }
+    if (mode == DlrmMode::kAgileAsync) {
+      // gather(e) — mostly cache hits from the e-prefetch.
+      AGILE_CHECK(host.runKernel(detail::gatherLaunch(batch, "dlrm-gather"),
+                                 makeGather(cur)));
+      // Overlap: MLP(e) computes while prefetch(e+1) streams.
+      auto mlp = host.launchKernel(mlpLaunch, mlpKernel);
+      gpu::KernelHandle pf;
+      if (e + 1 < totalEpochs) {
+        next = trace.epochRows(e + 1, batch);
+        pf = host.launchKernel(detail::gatherLaunch(batch, "dlrm-prefetch"),
+                               makePrefetch(next));
+      }
+      AGILE_CHECK(host.wait(mlp));
+      if (pf) AGILE_CHECK(host.wait(pf));
+      if (e + 1 < totalEpochs) cur = next;
+    } else {
+      // Synchronous epoch: fetch, then compute (§4.4: "request data and
+      // perform computation on the requested data within the same epoch").
+      AGILE_CHECK(host.runKernel(detail::gatherLaunch(batch, "dlrm-gather"),
+                                 makeGather(cur)));
+      AGILE_CHECK(host.runKernel(mlpLaunch, mlpKernel));
+      if (e + 1 < totalEpochs) cur = trace.epochRows(e + 1, batch);
+    }
+  }
+  AGILE_CHECK(host.drainIo());
+
+  DlrmRunResult res;
+  res.totalNs = engine.now() - start;
+  res.perEpochNs = res.totalNs / std::max(1u, epochs);
+  res.ssdReads = host.ssd(dev).readsCompleted() - ssdReadsBefore;
+  if (mode == DlrmMode::kBam) {
+    res.cacheHits = bamCtrl->cache().stats().hits - hitsBefore;
+    res.cacheMisses = bamCtrl->cache().stats().misses - missesBefore;
+  } else {
+    res.cacheHits = ctrl->cache().stats().hits - hitsBefore;
+    res.cacheMisses = ctrl->cache().stats().misses - missesBefore;
+  }
+  return res;
+}
+
+}  // namespace agile::apps

@@ -1,0 +1,56 @@
+#include "apps/dlrm/mlp.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/check.h"
+
+namespace agile::apps {
+
+SimTime mlpForwardNs(const MlpSpec& spec, std::uint32_t batch) {
+  const double ns =
+      static_cast<double>(spec.flops(batch)) / kGemmFlopsPerNs;
+  return static_cast<SimTime>(ns) +
+         static_cast<SimTime>(spec.layerDims.size()) * kGemmLayerOverheadNs;
+}
+
+void sgemm(const float* a, const float* b, float* c, std::uint32_t m,
+           std::uint32_t n, std::uint32_t k) {
+  constexpr std::uint32_t kBlock = 32;
+  for (std::uint32_t i0 = 0; i0 < m; i0 += kBlock) {
+    for (std::uint32_t k0 = 0; k0 < k; k0 += kBlock) {
+      for (std::uint32_t j0 = 0; j0 < n; j0 += kBlock) {
+        const std::uint32_t iMax = std::min(i0 + kBlock, m);
+        const std::uint32_t kMax = std::min(k0 + kBlock, k);
+        const std::uint32_t jMax = std::min(j0 + kBlock, n);
+        for (std::uint32_t i = i0; i < iMax; ++i) {
+          for (std::uint32_t kk = k0; kk < kMax; ++kk) {
+            const float av = a[i * k + kk];
+            const float* bRow = b + kk * n;
+            float* cRow = c + i * n;
+            for (std::uint32_t j = j0; j < jMax; ++j) {
+              cRow[j] += av * bRow[j];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void mlpForwardReference(const MlpSpec& spec,
+                         const std::vector<std::vector<float>>& weights,
+                         std::vector<float>& act, std::uint32_t batch) {
+  AGILE_CHECK(weights.size() == spec.layerDims.size());
+  for (std::size_t l = 0; l < spec.layerDims.size(); ++l) {
+    const std::uint32_t d = spec.layerDims[l];
+    AGILE_CHECK(weights[l].size() == static_cast<std::size_t>(d) * d);
+    AGILE_CHECK(act.size() == static_cast<std::size_t>(batch) * d);
+    std::vector<float> out(static_cast<std::size_t>(batch) * d, 0.0f);
+    sgemm(act.data(), weights[l].data(), out.data(), batch, d, d);
+    for (auto& v : out) v = std::max(v, 0.0f);  // ReLU
+    act = std::move(out);
+  }
+}
+
+}  // namespace agile::apps

@@ -1,0 +1,49 @@
+// DLRM MLP stacks (§4.4): the paper runs the bottom/top MLPs with cuBLAS and
+// overlaps embedding I/O against them. Here the MLP plays the same role as a
+// calibrated compute load in the DES (virtual GEMM cost at an effective
+// tensor-core throughput), and a real blocked SGEMM is provided for
+// correctness-level demos and tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace agile::apps {
+
+struct MlpSpec {
+  // Square GEMM layers: layer k multiplies [batch x d_k] by [d_k x d_k].
+  std::vector<std::uint32_t> layerDims;
+
+  std::uint64_t flops(std::uint32_t batch) const {
+    std::uint64_t f = 0;
+    for (auto d : layerDims) {
+      f += 2ull * batch * d * d;
+    }
+    return f;
+  }
+};
+
+// Effective GEMM throughput of the modeled GPU in FLOPs per virtual ns
+// (≈ 30 TFLOP/s, a realistic sustained cuBLAS rate for these small GEMMs on
+// an RTX 5000 Ada class part).
+inline constexpr double kGemmFlopsPerNs = 30000.0;
+// Per-layer kernel launch + epilogue overhead.
+inline constexpr SimTime kGemmLayerOverheadNs = 8000;
+
+// Virtual execution time of an MLP forward pass at the given batch size.
+SimTime mlpForwardNs(const MlpSpec& spec, std::uint32_t batch);
+
+// Real single-threaded blocked SGEMM: C[m x n] += A[m x k] * B[k x n]
+// (row-major). Used by examples/tests, not by the DES timing path.
+void sgemm(const float* a, const float* b, float* c, std::uint32_t m,
+           std::uint32_t n, std::uint32_t k);
+
+// Real MLP forward with ReLU between layers; weights[i] is layerDims[i]^2.
+// `act` is batch x layerDims[0] on input, batch x layerDims.back() on output.
+void mlpForwardReference(const MlpSpec& spec,
+                         const std::vector<std::vector<float>>& weights,
+                         std::vector<float>& act, std::uint32_t batch);
+
+}  // namespace agile::apps

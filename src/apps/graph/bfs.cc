@@ -1,0 +1,26 @@
+#include "apps/graph/bfs.h"
+
+#include <deque>
+
+namespace agile::apps {
+
+std::vector<std::uint32_t> bfsReference(const CsrGraph& g,
+                                        std::uint32_t source) {
+  std::vector<std::uint32_t> dist(g.numVertices, kBfsUnreached);
+  dist[source] = 0;
+  std::deque<std::uint32_t> q{source};
+  while (!q.empty()) {
+    const std::uint32_t v = q.front();
+    q.pop_front();
+    for (std::uint64_t e = g.rowPtr[v]; e < g.rowPtr[v + 1]; ++e) {
+      const std::uint32_t nbr = g.col[e];
+      if (dist[nbr] == kBfsUnreached) {
+        dist[nbr] = dist[v] + 1;
+        q.push_back(nbr);
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace agile::apps

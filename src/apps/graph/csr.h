@@ -1,0 +1,57 @@
+// Compressed Sparse Row graphs (the paper stores all graph structures and
+// weights in CSR, §4.5) plus helpers to place the column / weight arrays on
+// a simulated SSD. Row offsets stay in HBM (they are O(V) and hot), while
+// the O(E) adjacency data is the out-of-core part the I/O libraries fetch —
+// the standard BaM/AGILE graph setup.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/check.h"
+#include "nvme/ssd.h"
+
+namespace agile::apps {
+
+struct CsrGraph {
+  std::uint32_t numVertices = 0;
+  std::uint64_t numEdges = 0;
+  std::vector<std::uint64_t> rowPtr;  // numVertices + 1
+  std::vector<std::uint32_t> col;     // numEdges
+  std::vector<float> weights;         // numEdges (SpMV only; may be empty)
+
+  std::uint32_t degree(std::uint32_t v) const {
+    return static_cast<std::uint32_t>(rowPtr[v + 1] - rowPtr[v]);
+  }
+};
+
+// Build a CSR graph from an edge list (duplicates removed, self-loops kept
+// out, rows sorted).
+CsrGraph buildCsr(std::uint32_t numVertices,
+                  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges,
+                  bool makeWeights, std::uint64_t weightSeed);
+
+// Write an array of POD elements to consecutive SSD pages starting at
+// `startLba`; returns the number of pages used.
+template <class T>
+std::uint64_t writeArrayToSsd(nvme::SsdController& ssd, std::uint64_t startLba,
+                              const std::vector<T>& data) {
+  const std::uint64_t bytes = data.size() * sizeof(T);
+  const std::uint64_t pages = ceilDiv(bytes, std::uint64_t{nvme::kLbaBytes});
+  AGILE_CHECK_MSG(startLba + pages <= ssd.flash().capacityLbas(),
+                  "array does not fit on the simulated SSD");
+  const auto* src = reinterpret_cast<const std::byte*>(data.data());
+  std::byte page[nvme::kLbaBytes];
+  for (std::uint64_t p = 0; p < pages; ++p) {
+    const std::uint64_t off = p * nvme::kLbaBytes;
+    const std::uint64_t n =
+        std::min<std::uint64_t>(nvme::kLbaBytes, bytes - off);
+    std::memset(page, 0, sizeof page);
+    std::memcpy(page, src + off, n);
+    AGILE_CHECK(ssd.flash().writePage(startLba + p, page));
+  }
+  return pages;
+}
+
+}  // namespace agile::apps

@@ -1,0 +1,96 @@
+#include "apps/graph/generators.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace agile::apps {
+
+CsrGraph buildCsr(std::uint32_t numVertices,
+                  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges,
+                  bool makeWeights, std::uint64_t weightSeed) {
+  // Drop self loops, dedup.
+  std::erase_if(edges, [](const auto& e) { return e.first == e.second; });
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+  CsrGraph g;
+  g.numVertices = numVertices;
+  g.numEdges = edges.size();
+  g.rowPtr.assign(numVertices + 1, 0);
+  for (const auto& [u, v] : edges) {
+    AGILE_CHECK(u < numVertices && v < numVertices);
+    ++g.rowPtr[u + 1];
+  }
+  std::partial_sum(g.rowPtr.begin(), g.rowPtr.end(), g.rowPtr.begin());
+  g.col.resize(edges.size());
+  std::vector<std::uint64_t> cursor(g.rowPtr.begin(), g.rowPtr.end() - 1);
+  for (const auto& [u, v] : edges) {
+    g.col[cursor[u]++] = v;
+  }
+  if (makeWeights) {
+    Rng rng(weightSeed);
+    g.weights.resize(edges.size());
+    for (auto& w : g.weights) {
+      w = static_cast<float>(rng.nextDouble()) + 0.01f;
+    }
+  }
+  return g;
+}
+
+CsrGraph uniformRandomGraph(std::uint32_t numVertices, std::uint32_t degree,
+                            std::uint64_t seed, bool makeWeights) {
+  AGILE_CHECK(numVertices >= 2);
+  Rng rng(seed);
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  edges.reserve(static_cast<std::size_t>(numVertices) * degree);
+  for (std::uint32_t u = 0; u < numVertices; ++u) {
+    for (std::uint32_t d = 0; d < degree; ++d) {
+      const auto v = static_cast<std::uint32_t>(rng.nextBelow(numVertices));
+      edges.emplace_back(u, v);
+    }
+  }
+  return buildCsr(numVertices, std::move(edges), makeWeights, seed ^ 0xabcd);
+}
+
+CsrGraph kroneckerGraph(std::uint32_t scale, std::uint32_t edgeFactor,
+                        std::uint64_t seed, bool makeWeights) {
+  AGILE_CHECK(scale >= 2 && scale <= 30);
+  const std::uint32_t n = 1u << scale;
+  const std::uint64_t m = static_cast<std::uint64_t>(edgeFactor) * n;
+  // GAP RMAT parameters.
+  constexpr double a = 0.57, b = 0.19, c = 0.19;
+  Rng rng(seed);
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  edges.reserve(m);
+  for (std::uint64_t e = 0; e < m; ++e) {
+    std::uint32_t u = 0, v = 0;
+    for (std::uint32_t bit = 0; bit < scale; ++bit) {
+      const double r = rng.nextDouble();
+      if (r < a) {
+        // top-left: nothing set
+      } else if (r < a + b) {
+        v |= 1u << bit;
+      } else if (r < a + b + c) {
+        u |= 1u << bit;
+      } else {
+        u |= 1u << bit;
+        v |= 1u << bit;
+      }
+    }
+    edges.emplace_back(u, v);
+  }
+  return buildCsr(n, std::move(edges), makeWeights, seed ^ 0x5eed);
+}
+
+double degreeSkew(const CsrGraph& g) {
+  if (g.numVertices == 0 || g.numEdges == 0) return 0.0;
+  std::vector<std::uint32_t> deg(g.numVertices);
+  for (std::uint32_t v = 0; v < g.numVertices; ++v) deg[v] = g.degree(v);
+  std::sort(deg.begin(), deg.end(), std::greater<>());
+  const std::uint32_t top = std::max(1u, g.numVertices / 100);
+  std::uint64_t owned = 0;
+  for (std::uint32_t i = 0; i < top; ++i) owned += deg[i];
+  return static_cast<double>(owned) / static_cast<double>(g.numEdges);
+}
+
+}  // namespace agile::apps

@@ -1,0 +1,26 @@
+// Graph generators in the two families the paper evaluates (§4.5, via the
+// GAP Benchmark Suite): uniform random graphs ("-U", regular structure) and
+// Kronecker/RMAT graphs ("-K", skewed degree distribution). Parameters
+// follow GAP: RMAT with (a, b, c) = (0.57, 0.19, 0.19).
+#pragma once
+
+#include <cstdint>
+
+#include "apps/graph/csr.h"
+#include "common/rng.h"
+
+namespace agile::apps {
+
+// Uniform: numVertices * degree edges with endpoints drawn uniformly.
+CsrGraph uniformRandomGraph(std::uint32_t numVertices, std::uint32_t degree,
+                            std::uint64_t seed, bool makeWeights = false);
+
+// Kronecker (RMAT): 2^scale vertices, edgeFactor * 2^scale edges.
+CsrGraph kroneckerGraph(std::uint32_t scale, std::uint32_t edgeFactor,
+                        std::uint64_t seed, bool makeWeights = false);
+
+// Gini-style skew metric used by tests: fraction of edges owned by the top
+// 1% highest-degree vertices (close to degree/uniform for -U, large for -K).
+double degreeSkew(const CsrGraph& g);
+
+}  // namespace agile::apps

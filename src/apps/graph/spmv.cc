@@ -1,0 +1,19 @@
+#include "apps/graph/spmv.h"
+
+namespace agile::apps {
+
+std::vector<float> spmvReference(const CsrGraph& g,
+                                 const std::vector<float>& x) {
+  AGILE_CHECK(!g.weights.empty());
+  std::vector<float> y(g.numVertices, 0.0f);
+  for (std::uint32_t row = 0; row < g.numVertices; ++row) {
+    float acc = 0.0f;
+    for (std::uint64_t e = g.rowPtr[row]; e < g.rowPtr[row + 1]; ++e) {
+      acc += g.weights[e] * x[g.col[e]];
+    }
+    y[row] = acc;
+  }
+  return y;
+}
+
+}  // namespace agile::apps

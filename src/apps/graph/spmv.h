@@ -1,0 +1,77 @@
+// Sparse matrix-vector multiplication over out-of-core CSR (§4.5 workload):
+// y = A * x with the column-index and weight arrays on SSD and the dense
+// vector x resident in HBM. Thread-per-row with grid striding.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "apps/accessor.h"
+#include "apps/graph/csr.h"
+#include "core/host.h"
+
+namespace agile::apps {
+
+// CPU reference.
+std::vector<float> spmvReference(const CsrGraph& g,
+                                 const std::vector<float>& x);
+
+template <class ColAcc, class ValAcc>
+gpu::GpuTask<void> spmvKernel(gpu::KernelCtx& ctx,
+                              std::span<const std::uint64_t> rowPtr,
+                              ColAcc& colAcc, ValAcc& valAcc,
+                              std::span<const float> x, std::span<float> y) {
+  core::AgileLockChain chain;
+  const std::uint32_t stride = ctx.gridDim() * ctx.blockDim();
+  const std::uint32_t n = static_cast<std::uint32_t>(y.size());
+  for (std::uint32_t row = ctx.globalThreadIdx(); row < n; row += stride) {
+    float acc = 0.0f;
+    for (std::uint64_t e = rowPtr[row]; e < rowPtr[row + 1]; ++e) {
+      const std::uint32_t c = co_await colAcc.read(ctx, e, chain);
+      const float w = co_await valAcc.read(ctx, e, chain);
+      ctx.charge(2);  // fused multiply-add
+      acc += w * x[c];
+    }
+    ctx.charge(cost::kWordAccess);
+    y[row] = acc;
+    co_await ctx.yield();
+  }
+}
+
+template <class ColAcc, class ValAcc>
+bool runSpmv(core::AgileHost& host, const CsrGraph& g, ColAcc& colAcc,
+             ValAcc& valAcc, const std::vector<float>& x,
+             std::vector<float>* yOut,
+             gpu::LaunchConfig launch = {.gridDim = 16, .blockDim = 128}) {
+  std::vector<float> y(g.numVertices, 0.0f);
+  launch.name = "spmv";
+  const bool ok = host.runKernel(
+      launch, [&](gpu::KernelCtx& ctx) -> gpu::GpuTask<void> {
+        return spmvKernel(ctx, std::span<const std::uint64_t>(g.rowPtr),
+                          colAcc, valAcc, std::span<const float>(x),
+                          std::span<float>(y));
+      });
+  if (!ok) return false;
+  *yOut = std::move(y);
+  return true;
+}
+
+// Vector-mean microkernel (Fig. 12's third workload): mean of an
+// SSD-resident float array, per-thread partial sums + lane-0 accumulation.
+template <class Acc>
+gpu::GpuTask<void> vectorMeanKernel(gpu::KernelCtx& ctx, Acc& acc,
+                                    std::uint64_t count, double* partials) {
+  core::AgileLockChain chain;
+  const std::uint32_t stride = ctx.gridDim() * ctx.blockDim();
+  double local = 0.0;
+  for (std::uint64_t i = ctx.globalThreadIdx(); i < count; i += stride) {
+    const float v = co_await acc.read(ctx, i, chain);
+    ctx.charge(1);
+    local += v;
+  }
+  ctx.charge(cost::kWordAccess);  // atomicAdd on the partial slot
+  partials[ctx.globalThreadIdx()] += local;
+}
+
+}  // namespace agile::apps

@@ -1,0 +1,38 @@
+// Lightweight runtime-check macros used across the library.
+//
+// AGILE_CHECK is always on (simulation correctness depends on it); it prints
+// the failing expression with source location and aborts. AGILE_DCHECK
+// compiles out in NDEBUG builds and is reserved for hot paths.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace agile {
+
+[[noreturn]] inline void checkFailed(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "AGILE_CHECK failed: %s at %s:%d%s%s\n", expr, file,
+               line, msg[0] != '\0' ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace agile
+
+#define AGILE_CHECK(expr)                                         \
+  do {                                                            \
+    if (!(expr)) ::agile::checkFailed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define AGILE_CHECK_MSG(expr, msg)                                  \
+  do {                                                              \
+    if (!(expr)) ::agile::checkFailed(#expr, __FILE__, __LINE__, msg); \
+  } while (0)
+
+#ifdef NDEBUG
+#define AGILE_DCHECK(expr) \
+  do {                     \
+  } while (0)
+#else
+#define AGILE_DCHECK(expr) AGILE_CHECK(expr)
+#endif

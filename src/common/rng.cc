@@ -1,0 +1,107 @@
+#include "common/rng.h"
+
+#include <cmath>
+#include <numeric>
+
+namespace agile {
+namespace {
+
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+// splitmix64 used to expand the single seed into xoshiro state.
+inline std::uint64_t splitmix64(std::uint64_t& x) {
+  std::uint64_t z = (x += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+void Rng::reseed(std::uint64_t seed) {
+  std::uint64_t x = seed;
+  for (auto& s : s_) s = splitmix64(x);
+  // xoshiro must not start from the all-zero state.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::nextBelow(std::uint64_t bound) {
+  AGILE_CHECK(bound != 0);
+  // Lemire-style rejection to remove modulo bias.
+  const std::uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    const std::uint64_t r = next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+std::int64_t Rng::nextRange(std::int64_t lo, std::int64_t hi) {
+  AGILE_CHECK(lo <= hi);
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(span == 0 ? next() : nextBelow(span));
+}
+
+double Rng::nextDouble() {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+ZipfSampler::ZipfSampler(std::uint64_t n, double theta)
+    : n_(n), theta_(theta) {
+  AGILE_CHECK(n >= 1);
+  AGILE_CHECK(theta >= 0.0 && theta < 10.0);
+  hx0_ = h(0.5) - 1.0;
+  hxm_ = h(static_cast<double>(n) + 0.5);
+  hx1_ = h(1.5) - 1.0;
+  cut_ = 1.0 - hInv(h(1.5) - std::pow(2.0, -theta_));
+}
+
+double ZipfSampler::h(double x) const {
+  // Integral of x^-theta; the theta==1 limit is log.
+  if (theta_ == 1.0) return std::log(x);
+  return std::pow(x, 1.0 - theta_) / (1.0 - theta_);
+}
+
+double ZipfSampler::hInv(double x) const {
+  if (theta_ == 1.0) return std::exp(x);
+  return std::pow(x * (1.0 - theta_), 1.0 / (1.0 - theta_));
+}
+
+std::uint64_t ZipfSampler::operator()(Rng& rng) {
+  if (theta_ == 0.0) return rng.nextBelow(n_);
+  for (;;) {
+    const double u = hxm_ + rng.nextDouble() * (hx0_ - hxm_);
+    const double x = hInv(u);
+    auto k = static_cast<std::uint64_t>(x + 0.5);
+    if (k < 1) k = 1;
+    if (k > n_) k = n_;
+    const double kd = static_cast<double>(k);
+    if (kd - x <= cut_) return k - 1;
+    if (u >= h(kd + 0.5) - std::pow(kd, -theta_)) return k - 1;
+  }
+}
+
+std::vector<std::uint32_t> randomPermutation(std::uint32_t n, Rng& rng) {
+  std::vector<std::uint32_t> p(n);
+  std::iota(p.begin(), p.end(), 0u);
+  for (std::uint32_t i = n; i > 1; --i) {
+    const auto j = static_cast<std::uint32_t>(rng.nextBelow(i));
+    std::swap(p[i - 1], p[j]);
+  }
+  return p;
+}
+
+}  // namespace agile

@@ -1,0 +1,70 @@
+// Deterministic random number generation for the simulator and workload
+// generators: xoshiro256** core plus uniform/Zipf samplers.
+//
+// All randomness in the repository flows through Rng instances seeded
+// explicitly, so every test and bench run is bit-reproducible.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace agile {
+
+// xoshiro256** 1.0 (Blackman & Vigna) — fast, high-quality, tiny state.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) { reseed(seed); }
+
+  void reseed(std::uint64_t seed);
+
+  std::uint64_t next();
+
+  // Uniform in [0, bound). Unbiased via rejection.
+  std::uint64_t nextBelow(std::uint64_t bound);
+
+  // Uniform in [lo, hi].
+  std::int64_t nextRange(std::int64_t lo, std::int64_t hi);
+
+  // Uniform double in [0, 1).
+  double nextDouble();
+
+  bool nextBool(double pTrue = 0.5) { return nextDouble() < pTrue; }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+// Zipf-distributed sampler over {0, ..., n-1} with exponent `theta`
+// (theta = 0 → uniform; Criteo-like skew uses theta ≈ 0.9).
+//
+// Uses the rejection-inversion method of Hörmann & Derflinger, which needs
+// O(1) setup and no per-item tables, so vocabularies of hundreds of millions
+// of ids are fine.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::uint64_t n, double theta);
+
+  std::uint64_t operator()(Rng& rng);
+
+  std::uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  double h(double x) const;
+  double hInv(double x) const;
+
+  std::uint64_t n_;
+  double theta_;
+  double hx0_;
+  double hxm_;
+  double hx1_;
+  double cut_;
+};
+
+// Fisher-Yates shuffle of an index permutation, handy for building access
+// traces with controlled reuse distance.
+std::vector<std::uint32_t> randomPermutation(std::uint32_t n, Rng& rng);
+
+}  // namespace agile

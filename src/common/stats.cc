@@ -1,0 +1,72 @@
+#include "common/stats.h"
+
+#include <bit>
+#include <sstream>
+
+namespace agile {
+
+Histogram::Histogram(int buckets) : buckets_(static_cast<size_t>(buckets)) {}
+
+void Histogram::record(std::uint64_t v) {
+  ++count_;
+  sum_ += v;
+  if (v < min_) min_ = v;
+  if (v > max_) max_ = v;
+  // Bucket index = bit-width of v (0 → bucket 0, [2^k, 2^(k+1)) → k+1).
+  size_t idx = static_cast<size_t>(std::bit_width(v));
+  if (idx >= buckets_.size()) idx = buckets_.size() - 1;
+  ++buckets_[idx];
+}
+
+double Histogram::mean() const {
+  return count_ == 0 ? 0.0
+                     : static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+std::uint64_t Histogram::quantile(double q) const {
+  if (count_ == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const auto target = static_cast<std::uint64_t>(q * static_cast<double>(count_));
+  std::uint64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen > target) {
+      // Upper boundary of bucket i.
+      return i == 0 ? 0 : (1ull << i) - 1;
+    }
+  }
+  return max_;
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b = 0;
+  count_ = 0;
+  sum_ = 0;
+  min_ = ~0ull;
+  max_ = 0;
+}
+
+std::int64_t StatsRegistry::counterValue(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second.value();
+}
+
+std::string StatsRegistry::summary() const {
+  std::ostringstream os;
+  for (const auto& [name, c] : counters_) {
+    os << name << " = " << c.value() << '\n';
+  }
+  for (const auto& [name, h] : histograms_) {
+    os << name << " : n=" << h.count() << " mean=" << h.mean()
+       << " min=" << h.min() << " max=" << h.max() << '\n';
+  }
+  return os.str();
+}
+
+void StatsRegistry::reset() {
+  for (auto& [name, c] : counters_) c.reset();
+  for (auto& [name, h] : histograms_) h.reset();
+}
+
+}  // namespace agile

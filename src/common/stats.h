@@ -1,0 +1,81 @@
+// Counters and histograms used for simulation statistics (IOPS, queue
+// depths, cache hit rates, API-cycle breakdowns).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace agile {
+
+// Monotonic event counter.
+class Counter {
+ public:
+  void add(std::int64_t v = 1) { value_ += v; }
+  std::int64_t value() const { return value_; }
+  void reset() { value_ = 0; }
+
+ private:
+  std::int64_t value_ = 0;
+};
+
+// Fixed-boundary histogram with power-of-two buckets; cheap enough for
+// per-I/O recording.
+class Histogram {
+ public:
+  explicit Histogram(int buckets = 40);
+
+  void record(std::uint64_t v);
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t sum() const { return sum_; }
+  std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  std::uint64_t max() const { return max_; }
+  double mean() const;
+  // Approximate quantile from bucket boundaries, q in [0, 1].
+  std::uint64_t quantile(double q) const;
+  void reset();
+
+  const std::vector<std::uint64_t>& buckets() const { return buckets_; }
+
+ private:
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = ~0ull;
+  std::uint64_t max_ = 0;
+};
+
+// Named stats registry: each simulation component registers counters and
+// histograms here; benches read them out for reporting.
+class StatsRegistry {
+ public:
+  Counter& counter(const std::string& name) { return counters_[name]; }
+  Histogram& histogram(const std::string& name) {
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+      it = histograms_.emplace(name, Histogram{}).first;
+    }
+    return it->second;
+  }
+
+  std::int64_t counterValue(const std::string& name) const;
+  bool hasCounter(const std::string& name) const {
+    return counters_.count(name) != 0;
+  }
+
+  const std::map<std::string, Counter>& counters() const { return counters_; }
+  const std::map<std::string, Histogram>& histograms() const {
+    return histograms_;
+  }
+
+  std::string summary() const;
+  void reset();
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace agile

@@ -1,0 +1,30 @@
+// Minimal aligned-column table printer for bench output. Every figure bench
+// prints a table whose rows mirror the series in the corresponding paper
+// figure, so EXPERIMENTS.md can be filled by copy-paste.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace agile {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void addRow(std::vector<std::string> cells);
+
+  // Render with column alignment; numeric-looking cells are right-aligned.
+  std::string render() const;
+  void print() const;
+
+  // Convenience formatting helpers.
+  static std::string fmt(double v, int precision = 2);
+  static std::string fmtGiBps(double bytesPerSec);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace agile

@@ -1,0 +1,61 @@
+// Core value types and unit literals shared by the simulator and the
+// AGILE/BaM libraries.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "common/check.h"
+
+namespace agile {
+
+// Virtual simulation time in nanoseconds. The GPU is modeled at 1 GHz, so one
+// "cycle" of charged device work equals one nanosecond of virtual time.
+using SimTime = std::int64_t;
+
+inline constexpr SimTime kSimTimeNever = std::numeric_limits<SimTime>::max();
+
+// Byte-size literals.
+inline constexpr std::uint64_t operator""_KiB(unsigned long long v) {
+  return v * 1024ull;
+}
+inline constexpr std::uint64_t operator""_MiB(unsigned long long v) {
+  return v * 1024ull * 1024ull;
+}
+inline constexpr std::uint64_t operator""_GiB(unsigned long long v) {
+  return v * 1024ull * 1024ull * 1024ull;
+}
+
+// Time literals (virtual nanoseconds).
+inline constexpr SimTime operator""_ns(unsigned long long v) {
+  return static_cast<SimTime>(v);
+}
+inline constexpr SimTime operator""_us(unsigned long long v) {
+  return static_cast<SimTime>(v * 1000ull);
+}
+inline constexpr SimTime operator""_ms(unsigned long long v) {
+  return static_cast<SimTime>(v * 1000000ull);
+}
+inline constexpr SimTime operator""_s(unsigned long long v) {
+  return static_cast<SimTime>(v * 1000000000ull);
+}
+
+// Checked narrowing conversion (Core Guidelines ES.46 style).
+template <class To, class From>
+constexpr To narrowCast(From v) {
+  auto r = static_cast<To>(v);
+  AGILE_DCHECK(static_cast<From>(r) == v);
+  return r;
+}
+
+// Integer ceil-division for sizing rings, grids, and page counts.
+template <class T>
+constexpr T ceilDiv(T a, T b) {
+  return (a + b - 1) / b;
+}
+
+inline constexpr bool isPowerOfTwo(std::uint64_t v) {
+  return v != 0 && (v & (v - 1)) == 0;
+}
+
+}  // namespace agile

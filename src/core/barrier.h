@@ -1,0 +1,70 @@
+// Transaction barrier: the handle a user thread receives when it hands an
+// asynchronous NVMe transaction to the AGILE service (Figure 3, lock "a").
+//
+// The issuing thread never holds a queue lock while waiting — it only checks
+// or parks on this barrier; the service clears it when the matching
+// completion arrives. Multiple transactions can target one barrier (e.g., a
+// windowed reader reusing it), so it counts pending completions.
+#pragma once
+
+#include <cstdint>
+
+#include "common/check.h"
+#include "core/cost_model.h"
+#include "gpu/exec.h"
+#include "nvme/defs.h"
+#include "sim/engine.h"
+
+namespace agile::core {
+
+class AgileTxBarrier {
+ public:
+  bool ready() const { return pending_ == 0; }
+  std::uint32_t pending() const { return pending_; }
+  bool failed() const { return failed_; }
+  nvme::Status lastStatus() const { return lastStatus_; }
+
+  // --- issuing side ---
+  void addPending() { ++pending_; }
+
+  // --- service side ---
+  void complete(sim::Engine& engine, nvme::Status status) {
+    AGILE_CHECK_MSG(pending_ > 0, "barrier completed more times than armed");
+    --pending_;
+    if (status != nvme::Status::kSuccess) {
+      failed_ = true;
+      lastStatus_ = status;
+    }
+    if (pending_ == 0) waiters_.notifyAll(engine);
+  }
+
+  // Reset a quiesced barrier for reuse.
+  void reset() {
+    AGILE_CHECK(pending_ == 0);
+    failed_ = false;
+    lastStatus_ = nvme::Status::kSuccess;
+  }
+
+  sim::WaitList& waiters() { return waiters_; }
+
+ private:
+  std::uint32_t pending_ = 0;
+  bool failed_ = false;
+  nvme::Status lastStatus_ = nvme::Status::kSuccess;
+  sim::WaitList waiters_;
+};
+
+// Wait until the barrier clears (paper: buf.wait()). Charges the check cost;
+// parks event-driven while transactions are in flight. Returns false if any
+// completed transaction reported an NVMe error.
+inline gpu::GpuTask<bool> barrierWait(gpu::KernelCtx& ctx,
+                                      AgileTxBarrier& barrier) {
+  ctx.charge(cost::kBarrierCheck);
+  while (!barrier.ready()) {
+    co_await ctx.parkOn(barrier.waiters());
+    ctx.charge(cost::kBarrierCheck);
+  }
+  co_return !barrier.failed();
+}
+
+}  // namespace agile::core

@@ -1,0 +1,81 @@
+// AgileBuf / AgileBufPtr: user-specified device buffers used by the
+// async_issue APIs (asyncRead / asyncWrite, §3.4.1).
+//
+// An AgileBuf wraps caller-owned HBM memory (one SSD page) plus the
+// transaction barrier for in-flight I/O and an intrusive link so the buffer
+// can be appended to a cache line's waiter list (§3.4 case (c)). AgileBufPtr
+// is the user-facing handle; when the Share Table is enabled it may be
+// re-pointed at another thread's buffer instead of triggering a duplicate
+// SSD read.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/barrier.h"
+#include "nvme/defs.h"
+
+namespace agile::core {
+
+struct ShareEntry;  // defined in share_table.h
+
+class AgileBuf {
+ public:
+  AgileBuf() = default;
+  explicit AgileBuf(std::byte* data) : data_(data) {}
+
+  void bind(std::byte* data) { data_ = data; }
+  std::byte* data() { return data_; }
+  const std::byte* data() const { return data_; }
+  std::uint32_t bytes() const { return nvme::kLbaBytes; }
+
+  AgileTxBarrier& barrier() { return barrier_; }
+
+  // Intrusive list link: next buffer waiting on the same cache line.
+  AgileBuf* nextWaiter = nullptr;
+
+ private:
+  std::byte* data_ = nullptr;
+  AgileTxBarrier barrier_;
+};
+
+// User-facing handle (paper Listing 1, line 12). Points at an AgileBuf —
+// either the caller's own or, via the Share Table, a peer's buffer holding
+// the same SSD page.
+class AgileBufPtr {
+ public:
+  AgileBufPtr() = default;
+  explicit AgileBufPtr(AgileBuf& own) : own_(&own), active_(&own) {}
+
+  // (Re)bind to the caller's own buffer.
+  void bindOwn(AgileBuf& own) {
+    own_ = &own;
+    active_ = &own;
+    shared_ = nullptr;
+  }
+
+  AgileBuf* own() { return own_; }
+  AgileBuf* active() { return active_; }
+  std::byte* data() { return active_ ? active_->data() : nullptr; }
+
+  bool isShared() const { return shared_ != nullptr; }
+  ShareEntry* shareEntry() { return shared_; }
+
+  // Redirect to a shared buffer (Share Table hit).
+  void pointAt(AgileBuf& peer, ShareEntry* entry) {
+    active_ = &peer;
+    shared_ = entry;
+  }
+
+  template <class T>
+  T* as() {
+    return reinterpret_cast<T*>(data());
+  }
+
+ private:
+  AgileBuf* own_ = nullptr;
+  AgileBuf* active_ = nullptr;
+  ShareEntry* shared_ = nullptr;
+};
+
+}  // namespace agile::core

@@ -1,0 +1,482 @@
+// AGILE software-managed cache (§3.4).
+//
+// Cache lines are SSD-page sized (4 KiB) and carry the paper's four-state
+// machine: INVALID / BUSY / READY / MODIFIED. All SSD traffic is routed
+// through the cache for coherency and request coalescing; each line keeps
+//   - readyWaiters: synchronous readers parked while the line is BUSY
+//     (§3.4 case (c), sync flavor),
+//   - a linked list of AgileBufs to fill on completion (case (c), async
+//     flavor),
+//   - freedWaiters: threads waiting for a writeback-eviction to finish
+//     (case (d)).
+// The AGILE service performs the BUSY→READY / BUSY→INVALID transitions when
+// completions arrive, so no user thread ever holds a line across a wait.
+//
+// Replacement policy is a CRTP plug-in (paper §3.5): built-ins below are
+// Clock (the paper's default, after Corbató), LRU, FIFO and Random. A policy
+// only chooses victims and maintains touch metadata; state transitions are
+// policy-independent.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/types.h"
+#include "core/buf.h"
+#include "core/cost_model.h"
+#include "core/lock.h"
+#include "gpu/exec.h"
+#include "nvme/defs.h"
+#include "sim/engine.h"
+
+namespace agile::core {
+
+enum class LineState : std::uint8_t {
+  kInvalid,
+  kBusy,      // fill or writeback in flight (see `evicting`)
+  kReady,
+  kModified,
+};
+
+inline constexpr std::uint64_t kNoTag = std::numeric_limits<std::uint64_t>::max();
+
+// (device, lba) packed into one tag word.
+inline constexpr std::uint64_t makeTag(std::uint32_t dev, std::uint64_t lba) {
+  return (static_cast<std::uint64_t>(dev) << 48) | lba;
+}
+inline constexpr std::uint32_t tagDev(std::uint64_t tag) {
+  return static_cast<std::uint32_t>(tag >> 48);
+}
+inline constexpr std::uint64_t tagLba(std::uint64_t tag) {
+  return tag & ((1ull << 48) - 1);
+}
+
+struct CacheLine {
+  LineState state = LineState::kInvalid;
+  bool evicting = false;  // BUSY because of a writeback, not a fill
+  std::uint64_t tag = kNoTag;
+  std::byte* data = nullptr;
+  AgileBuf* bufWaitHead = nullptr;
+  sim::WaitList readyWaiters;
+  sim::WaitList freedWaiters;
+  // Cache-wide list of threads stalled because every victim candidate was
+  // BUSY (§3.4 case (d) under thrash); any line leaving BUSY admits one.
+  sim::WaitList* stallWaiters = nullptr;
+
+  void appendBufWaiter(AgileBuf& buf) {
+    buf.nextWaiter = bufWaitHead;
+    bufWaitHead = &buf;
+    buf.barrier().addPending();
+  }
+
+  // --- service-side transitions ---
+
+  // Fill completion: deliver data to every waiting buffer, wake sync
+  // readers. On error the line is dropped back to INVALID and waiters retry.
+  void onFillComplete(sim::Engine& engine, nvme::Status status) {
+    AGILE_CHECK(state == LineState::kBusy && !evicting);
+    AgileBuf* w = bufWaitHead;
+    bufWaitHead = nullptr;
+    while (w != nullptr) {
+      AgileBuf* next = w->nextWaiter;
+      w->nextWaiter = nullptr;
+      if (status == nvme::Status::kSuccess) {
+        std::memcpy(w->data(), data, nvme::kLbaBytes);
+      }
+      w->barrier().complete(engine, status);
+      w = next;
+    }
+    state = status == nvme::Status::kSuccess ? LineState::kReady
+                                             : LineState::kInvalid;
+    readyWaiters.notifyAll(engine);
+    if (state == LineState::kInvalid) freedWaiters.notifyAll(engine);
+    if (stallWaiters != nullptr) stallWaiters->notifyOne(engine);
+  }
+
+  // Writeback completion: the line becomes reclaimable.
+  void onWritebackComplete(sim::Engine& engine, nvme::Status status) {
+    AGILE_CHECK(state == LineState::kBusy && evicting);
+    evicting = false;
+    // On a write fault the data is still only in HBM; keep it MODIFIED so a
+    // later eviction retries the writeback rather than losing the page.
+    state = status == nvme::Status::kSuccess ? LineState::kInvalid
+                                             : LineState::kModified;
+    freedWaiters.notifyAll(engine);
+    readyWaiters.notifyAll(engine);
+    if (stallWaiters != nullptr) stallWaiters->notifyOne(engine);
+  }
+};
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t busyHits = 0;   // second-level coalescing (§3.3.2)
+  std::uint64_t evictions = 0;
+  std::uint64_t writebacks = 0;
+  std::uint64_t victimStalls = 0;
+};
+
+// Per-operation charge profile. AGILE and the BaM baseline share the cache
+// implementation but charge different amounts per §4.5's overhead analysis
+// (BaM's probe/insert critical sections take more atomics).
+struct CacheCosts {
+  SimTime probe = cost::kCacheProbe;
+  SimTime insert = cost::kCacheInsert;
+  SimTime evict = cost::kCacheEvict;
+  SimTime lineCopy = cost::kLineCopy;
+  SimTime word = cost::kWordAccess;
+};
+
+inline constexpr CacheCosts agileCacheCosts() { return CacheCosts{}; }
+inline constexpr CacheCosts bamCacheCosts() {
+  return CacheCosts{.probe = cost::kBamCacheProbe,
+                    .insert = cost::kBamCacheInsert,
+                    .evict = cost::kBamCacheEvict,
+                    .lineCopy = cost::kBamLineCopy,
+                    .word = cost::kBamWordAccess};
+}
+
+// Outcome of one atomic probe/claim attempt.
+enum class ProbeOutcome : std::uint8_t {
+  kHit,            // READY or MODIFIED: data usable now
+  kBusy,           // fill in flight: wait or append buffer
+  kClaimed,        // line claimed for this tag, caller must issue the fill
+  kNeedWriteback,  // victim was MODIFIED: caller must issue the writeback
+  kStall,          // every candidate BUSY: back off and retry
+};
+
+struct ProbeResult {
+  ProbeOutcome outcome;
+  std::uint32_t line = 0;
+};
+
+// CRTP base: compile-time polymorphism for policies, mirroring the paper's
+// GPUCacheBase<GPUCache> pattern (no virtual dispatch on device paths).
+template <class Derived>
+class CachePolicyBase {
+ public:
+  void onTouch(std::uint32_t line) { self().doTouch(line); }
+  void onFill(std::uint32_t line) { self().doFill(line); }
+  void onEvict(std::uint32_t line) { self().doEvict(line); }
+  // Scans for a victim among non-BUSY lines; npos when all candidates BUSY.
+  std::uint32_t selectVictim(const std::vector<CacheLine>& lines,
+                             gpu::KernelCtx& ctx) {
+    return self().doSelectVictim(lines, ctx);
+  }
+  // Whether a claimer should park on a BUSY victim (vs probing elsewhere) —
+  // the paper's §3.4 case (d) policy hook.
+  bool waitOnBusyVictim() const { return false; }
+
+  static constexpr std::uint32_t npos = std::numeric_limits<std::uint32_t>::max();
+
+ private:
+  Derived& self() { return static_cast<Derived&>(*this); }
+};
+
+// Clock (second-chance) replacement — the paper's default policy [10].
+class ClockPolicy : public CachePolicyBase<ClockPolicy> {
+ public:
+  explicit ClockPolicy(std::uint32_t lines) : ref_(lines, 0) {}
+
+  void doTouch(std::uint32_t line) { ref_[line] = 1; }
+  void doFill(std::uint32_t line) { ref_[line] = 1; }
+  void doEvict(std::uint32_t line) { ref_[line] = 0; }
+
+  std::uint32_t doSelectVictim(const std::vector<CacheLine>& lines,
+                               gpu::KernelCtx& ctx) {
+    const std::uint32_t n = static_cast<std::uint32_t>(lines.size());
+    for (std::uint32_t step = 0; step < 2 * n; ++step) {
+      ctx.charge(cost::kPolicyStep);
+      const std::uint32_t i = hand_;
+      hand_ = (hand_ + 1) % n;
+      if (lines[i].state == LineState::kBusy) continue;
+      if (lines[i].state != LineState::kInvalid && ref_[i] != 0) {
+        ref_[i] = 0;  // second chance
+        continue;
+      }
+      return i;
+    }
+    return npos;
+  }
+
+ private:
+  std::vector<std::uint8_t> ref_;
+  std::uint32_t hand_ = 0;
+};
+
+// Exact LRU via an intrusive doubly-linked list over line indices.
+class LruPolicy : public CachePolicyBase<LruPolicy> {
+ public:
+  explicit LruPolicy(std::uint32_t lines) : prev_(lines), next_(lines) {
+    for (std::uint32_t i = 0; i < lines; ++i) {
+      prev_[i] = i == 0 ? kNil : i - 1;
+      next_[i] = i + 1 == lines ? kNil : i + 1;
+    }
+    head_ = 0;
+    tail_ = lines - 1;
+  }
+
+  void doTouch(std::uint32_t line) { moveToFront(line); }
+  void doFill(std::uint32_t line) { moveToFront(line); }
+  void doEvict(std::uint32_t /*line*/) {}
+
+  std::uint32_t doSelectVictim(const std::vector<CacheLine>& lines,
+                               gpu::KernelCtx& ctx) {
+    // Walk from the LRU tail, skipping BUSY lines.
+    for (std::uint32_t i = tail_; i != kNil; i = prev_[i]) {
+      ctx.charge(cost::kPolicyStep);
+      if (lines[i].state != LineState::kBusy) return i;
+    }
+    return npos;
+  }
+
+ private:
+  static constexpr std::uint32_t kNil = std::numeric_limits<std::uint32_t>::max();
+
+  void unlink(std::uint32_t i) {
+    if (prev_[i] != kNil) next_[prev_[i]] = next_[i];
+    if (next_[i] != kNil) prev_[next_[i]] = prev_[i];
+    if (head_ == i) head_ = next_[i];
+    if (tail_ == i) tail_ = prev_[i];
+  }
+
+  void moveToFront(std::uint32_t i) {
+    if (head_ == i) return;
+    unlink(i);
+    prev_[i] = kNil;
+    next_[i] = head_;
+    if (head_ != kNil) prev_[head_] = i;
+    head_ = i;
+    if (tail_ == kNil) tail_ = i;
+  }
+
+  std::vector<std::uint32_t> prev_, next_;
+  std::uint32_t head_ = kNil, tail_ = kNil;
+};
+
+// FIFO: evict in fill order, rotating past BUSY lines.
+class FifoPolicy : public CachePolicyBase<FifoPolicy> {
+ public:
+  explicit FifoPolicy(std::uint32_t lines) : n_(lines) {}
+
+  void doTouch(std::uint32_t) {}
+  void doFill(std::uint32_t) {}
+  void doEvict(std::uint32_t) {}
+
+  std::uint32_t doSelectVictim(const std::vector<CacheLine>& lines,
+                               gpu::KernelCtx& ctx) {
+    for (std::uint32_t step = 0; step < n_; ++step) {
+      ctx.charge(cost::kPolicyStep);
+      const std::uint32_t i = hand_;
+      hand_ = (hand_ + 1) % n_;
+      if (lines[i].state != LineState::kBusy) return i;
+    }
+    return npos;
+  }
+
+ private:
+  std::uint32_t n_;
+  std::uint32_t hand_ = 0;
+};
+
+// Random candidate probing (K tries).
+class RandomPolicy : public CachePolicyBase<RandomPolicy> {
+ public:
+  explicit RandomPolicy(std::uint32_t lines, std::uint64_t seed = 0x517cc1b7)
+      : n_(lines), rng_(seed) {}
+
+  void doTouch(std::uint32_t) {}
+  void doFill(std::uint32_t) {}
+  void doEvict(std::uint32_t) {}
+
+  std::uint32_t doSelectVictim(const std::vector<CacheLine>& lines,
+                               gpu::KernelCtx& ctx) {
+    for (std::uint32_t k = 0; k < 32; ++k) {
+      ctx.charge(cost::kPolicyStep);
+      const auto i = static_cast<std::uint32_t>(rng_.nextBelow(n_));
+      if (lines[i].state != LineState::kBusy) return i;
+    }
+    return npos;
+  }
+
+ private:
+  std::uint32_t n_;
+  Rng rng_;
+};
+
+// The software cache proper.
+template <class Policy>
+class SoftwareCache {
+ public:
+  static constexpr std::uint32_t npos = Policy::npos;
+
+  SoftwareCache(gpu::Hbm& hbm, std::uint32_t lineCount,
+                CacheCosts costs = agileCacheCosts())
+      : lineCount_(lineCount),
+        policy_(lineCount),
+        lock_("sw-cache"),
+        costs_(costs),
+        lines_(lineCount) {
+    AGILE_CHECK(lineCount >= 1);
+    slab_ = hbm.allocBytes(static_cast<std::uint64_t>(lineCount) *
+                           nvme::kLbaBytes);
+    freshLines_.reserve(lineCount);
+    for (std::uint32_t i = 0; i < lineCount; ++i) {
+      lines_[i].data = slab_ + static_cast<std::uint64_t>(i) * nvme::kLbaBytes;
+      lines_[i].stallWaiters = &stallWaiters_;
+      // Popped back-to-front so frames fill in index order.
+      freshLines_.push_back(lineCount - 1 - i);
+    }
+    map_.reserve(lineCount * 2);
+  }
+
+  std::uint32_t lineCount() const { return lineCount_; }
+  CacheLine& line(std::uint32_t i) { return lines_[i]; }
+  Policy& policy() { return policy_; }
+  const CacheStats& stats() const { return stats_; }
+  AgileLock& lock() { return lock_; }
+  const CacheCosts& costs() const { return costs_; }
+
+  // One atomic probe-or-claim step (runs within a single lane segment, i.e.
+  // the critical section the paper guards with the cache lock). The caller
+  // loops on kStall / kNeedWriteback outcomes with awaits in between.
+  ProbeResult probeOrClaim(gpu::KernelCtx& ctx, std::uint64_t tag) {
+    ctx.chargeSerialized(costs_.probe);
+    auto it = map_.find(tag);
+    if (it != map_.end()) {
+      CacheLine& l = lines_[it->second];
+      AGILE_CHECK(l.tag == tag);
+      switch (l.state) {
+        case LineState::kReady:
+        case LineState::kModified:
+          ++stats_.hits;
+          policy_.onTouch(it->second);
+          return {ProbeOutcome::kHit, it->second};
+        case LineState::kBusy:
+          ++stats_.busyHits;
+          return {ProbeOutcome::kBusy, it->second};
+        case LineState::kInvalid:
+          // A finished eviction left the mapping behind; drop it and fall
+          // through to the miss path.
+          map_.erase(it);
+          l.tag = kNoTag;
+          break;
+      }
+    }
+    ++stats_.misses;
+    // Miss: never-used lines are consumed before the policy evicts anything
+    // (all policies fill empty frames first).
+    std::uint32_t v;
+    if (!freshLines_.empty()) {
+      v = freshLines_.back();
+      freshLines_.pop_back();
+    } else {
+      v = policy_.selectVictim(lines_, ctx);
+    }
+    if (v == Policy::npos) {
+      ++stats_.victimStalls;
+      return {ProbeOutcome::kStall, 0};
+    }
+    CacheLine& vic = lines_[v];
+    AGILE_CHECK(vic.state != LineState::kBusy);
+    if (vic.state == LineState::kModified) {
+      // Case (d): dirty victim — caller issues the writeback; the line stays
+      // mapped (and BUSY) until the data lands on the SSD so concurrent
+      // readers of the old tag cannot observe stale flash content.
+      ctx.chargeSerialized(costs_.evict);
+      vic.state = LineState::kBusy;
+      vic.evicting = true;
+      ++stats_.writebacks;
+      return {ProbeOutcome::kNeedWriteback, v};
+    }
+    if (vic.state == LineState::kReady) {
+      ctx.chargeSerialized(costs_.evict);
+      ++stats_.evictions;
+      policy_.onEvict(v);
+    }
+    // Drop any stale mapping the victim still carries (READY eviction, or an
+    // INVALID line left mapped by a completed writeback / failed fill).
+    if (vic.tag != kNoTag) {
+      auto old = map_.find(vic.tag);
+      if (old != map_.end() && old->second == v) map_.erase(old);
+    }
+    // Claim for the new tag.
+    ctx.chargeSerialized(costs_.insert);
+    vic.tag = tag;
+    vic.state = LineState::kBusy;
+    vic.evicting = false;
+    map_[tag] = v;
+    policy_.onFill(v);
+    return {ProbeOutcome::kClaimed, v};
+  }
+
+  // Probe without claiming (used by asyncRead, which falls back to a direct
+  // SSD->buffer transfer on miss instead of occupying a line).
+  ProbeResult probeOnly(gpu::KernelCtx& ctx, std::uint64_t tag) {
+    ctx.chargeSerialized(costs_.probe);
+    auto it = map_.find(tag);
+    if (it == map_.end()) {
+      ++stats_.misses;
+      return {ProbeOutcome::kStall, 0};
+    }
+    CacheLine& l = lines_[it->second];
+    switch (l.state) {
+      case LineState::kReady:
+      case LineState::kModified:
+        ++stats_.hits;
+        policy_.onTouch(it->second);
+        return {ProbeOutcome::kHit, it->second};
+      case LineState::kBusy:
+        if (l.evicting) break;  // writeback in flight: treat as miss
+        ++stats_.busyHits;
+        return {ProbeOutcome::kBusy, it->second};
+      case LineState::kInvalid:
+        break;
+    }
+    ++stats_.misses;
+    return {ProbeOutcome::kStall, 0};
+  }
+
+  // Mark a (hit) line dirty after an in-place store.
+  void markModified(std::uint32_t lineIdx) {
+    AGILE_CHECK(lines_[lineIdx].state == LineState::kReady ||
+                lines_[lineIdx].state == LineState::kModified);
+    lines_[lineIdx].state = LineState::kModified;
+  }
+
+  // Lookup for coherency updates from the write path; npos if absent.
+  std::uint32_t findLine(std::uint64_t tag) const {
+    auto it = map_.find(tag);
+    return it == map_.end() ? Policy::npos : it->second;
+  }
+
+  // Threads stalled on an all-BUSY cache park here (event-driven instead of
+  // timed backoff: any completion that frees a line admits one claimant).
+  sim::WaitList& stallWaiters() { return stallWaiters_; }
+
+  // Number of lines currently BUSY (used by tests/benches).
+  std::uint32_t busyLines() const {
+    std::uint32_t n = 0;
+    for (const auto& l : lines_) n += l.state == LineState::kBusy;
+    return n;
+  }
+
+ private:
+  std::uint32_t lineCount_;
+  Policy policy_;
+  AgileLock lock_;
+  CacheCosts costs_;
+  std::vector<CacheLine> lines_;
+  std::vector<std::uint32_t> freshLines_;
+  sim::WaitList stallWaiters_;
+  std::unordered_map<std::uint64_t, std::uint32_t> map_;
+  std::byte* slab_ = nullptr;
+  CacheStats stats_;
+};
+
+}  // namespace agile::core

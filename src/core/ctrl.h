@@ -1,0 +1,507 @@
+// AgileCtrl — the device-side API surface of AGILE (§3.5, Listing 1):
+//
+//   Method-1  prefetch(dev, lba, chain)           — fill the software cache
+//   Method-2  asyncRead / asyncWrite(dev, lba, buf, chain)  — async_issue
+//             with user-specified buffers; buf.wait() via waitBuf()
+//   Method-3  array<T>() — array-like synchronous view of the SSDs
+//
+// Template parameters select the software-cache replacement policy and the
+// Share Table policy at compile time (the paper's CRTP customization). All
+// potentially-stalling calls are coroutines: a simulated GPU thread composes
+// them with co_await exactly where a CUDA thread would block or poll.
+//
+// Request coalescing is two-level (§3.3.2): prefetch and the coalesced array
+// read use warp match-any to elect one leader per distinct page, and the
+// software cache's BUSY state absorbs the rest (second level). asyncRead
+// performs no warp-level coalescing, matching the paper; duplicates are
+// caught by the Share Table and the cache only.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+
+#include "common/check.h"
+#include "core/barrier.h"
+#include "core/buf.h"
+#include "core/cache.h"
+#include "core/cost_model.h"
+#include "core/host.h"
+#include "core/io_queues.h"
+#include "core/lock.h"
+#include "core/share_table.h"
+#include "gpu/exec.h"
+#include "nvme/defs.h"
+
+namespace agile::core {
+
+struct CtrlConfig {
+  std::uint32_t cacheLines = 1024;
+  bool warpCoalescing = true;
+  CacheCosts cacheCosts = agileCacheCosts();
+  std::uint32_t maxArrayRetries = 100000;
+};
+
+struct CtrlStats {
+  std::uint64_t prefetches = 0;
+  std::uint64_t prefetchCoalesced = 0;  // first-level (warp) hits
+  std::uint64_t asyncReads = 0;
+  std::uint64_t asyncWrites = 0;
+  std::uint64_t arrayReads = 0;
+  std::uint64_t arrayWrites = 0;
+  std::uint64_t directReads = 0;  // SSD -> user buffer, bypassing the cache
+  std::uint64_t prefetchDropped = 0;
+};
+
+template <class CachePolicy = ClockPolicy,
+          class SharePolicy = DefaultSharePolicy>
+class AgileCtrl {
+ public:
+  using Cache = SoftwareCache<CachePolicy>;
+  using Share = ShareTable<SharePolicy>;
+
+  AgileCtrl(AgileHost& host, CtrlConfig cfg = {})
+      : host_(&host),
+        cfg_(cfg),
+        cache_(host.gpu().hbm(), cfg.cacheLines, cfg.cacheCosts) {
+    AGILE_CHECK_MSG(host.nvmeReady(), "AgileCtrl requires initNvme()");
+  }
+
+  AgileHost& host() { return *host_; }
+  Cache& cache() { return cache_; }
+  Share& shareTable() { return share_; }
+  const CtrlStats& stats() const { return stats_; }
+  std::uint32_t lineBytes() const { return nvme::kLbaBytes; }
+
+  // ------------------------------------------------------- Method 1 ----
+
+  // Asynchronously pull (dev, lba) into the software cache. Fire-and-forget:
+  // the caller later reads through the array API (or hits the cache).
+  gpu::GpuTask<void> prefetch(gpu::KernelCtx& ctx, std::uint32_t dev,
+                              std::uint64_t lba, AgileLockChain& chain) {
+    ++stats_.prefetches;
+    const std::uint64_t tag = makeTag(dev, lba);
+    if (cfg_.warpCoalescing) {
+      // First-level coalescing: one leader per distinct page per warp.
+      ctx.charge(cost::kCoalesceMatch);
+      const std::uint32_t peers = co_await gpu::warpMatchAny(ctx, tag);
+      const auto leader = static_cast<std::uint32_t>(std::countr_zero(peers));
+      if (ctx.laneId() != leader) {
+        ++stats_.prefetchCoalesced;
+        co_return;
+      }
+    }
+    co_await fillCacheLine(ctx, dev, lba, chain, /*bounded=*/true);
+  }
+
+  // ------------------------------------------------------- Method 2 ----
+
+  // async_issue(src=SSD, dst=user buffer). Never blocks on the cache: a miss
+  // goes SSD -> buffer directly (no line lock is held, §3.1), a BUSY line
+  // appends the buffer to the line's waiter list (§3.4 case (c)).
+  gpu::GpuTask<void> asyncRead(gpu::KernelCtx& ctx, std::uint32_t dev,
+                               std::uint64_t lba, AgileBufPtr& buf,
+                               AgileLockChain& chain) {
+    ++stats_.asyncReads;
+    const std::uint64_t tag = makeTag(dev, lba);
+    AGILE_CHECK_MSG(buf.own() != nullptr && buf.own()->data() != nullptr,
+                    "asyncRead requires a bound buffer");
+
+    // Share Table first (§3.4.1: highest priority in the hierarchy).
+    if constexpr (Share::kEnabled) {
+      if (ShareEntry* e = share_.attach(ctx, tag)) {
+        buf.pointAt(*e->buf, e);
+        co_return;  // data (or its in-flight barrier) is the owner's
+      }
+    }
+
+    // Fall back to the software cache.
+    const ProbeResult r = cache_.probeOnly(ctx, tag);
+    if (r.outcome == ProbeOutcome::kHit) {
+      ctx.charge(cache_.costs().lineCopy);
+      std::memcpy(buf.own()->data(), cache_.line(r.line).data,
+                  nvme::kLbaBytes);
+      co_return;
+    }
+    if (r.outcome == ProbeOutcome::kBusy) {
+      // Second-level coalescing: ride the in-flight fill.
+      ctx.charge(cost::kBufAttach);
+      cache_.line(r.line).appendBufWaiter(*buf.own());
+      co_return;
+    }
+
+    // Miss: direct SSD -> user buffer, registered in the Share Table so
+    // concurrent readers of the same page share this buffer.
+    ++stats_.directReads;
+    if constexpr (Share::kEnabled) {
+      share_.registerOwner(ctx, tag, *buf.own());
+    }
+    if (buf.own()->barrier().ready()) buf.own()->barrier().reset();
+    buf.own()->barrier().addPending();
+    nvme::Sqe cmd = makeCmd(nvme::Opcode::kRead, lba,
+                            host_->gpu().hbm().physAddr(buf.own()->data()));
+    Transaction txn;
+    txn.kind = TxnKind::kBufRead;
+    txn.buf = buf.own();
+    co_await issueToSsd(ctx, dev, cmd, txn, chain);
+  }
+
+  // async_issue(src=user buffer, dst=SSD). The payload is snapshotted into a
+  // staging page so the caller's buffer is reusable immediately (§3.5); the
+  // software cache is updated for coherency before the command is issued.
+  gpu::GpuTask<void> asyncWrite(gpu::KernelCtx& ctx, std::uint32_t dev,
+                                std::uint64_t lba, AgileBufPtr& buf,
+                                AgileLockChain& chain) {
+    ++stats_.asyncWrites;
+    const std::uint64_t tag = makeTag(dev, lba);
+    AGILE_CHECK(buf.own() != nullptr && buf.own()->data() != nullptr);
+
+    std::byte* staging;
+    for (;;) {
+      staging = host_->staging().tryGet();
+      if (staging != nullptr) break;
+      co_await ctx.parkOn(host_->staging().waiters());
+    }
+    ctx.charge(cache_.costs().lineCopy);
+    std::memcpy(staging, buf.own()->data(), nvme::kLbaBytes);
+
+    // Coherency: land the new data in any cached copy of this page. A line
+    // whose fill or writeback is in flight is waited out so the older I/O
+    // cannot clobber the update (write-after-write through the SSD).
+    for (;;) {
+      const std::uint32_t li = cache_.findLine(tag);
+      if (li == Cache::npos) break;
+      CacheLine& l = cache_.line(li);
+      if (l.state == LineState::kBusy) {
+        co_await ctx.parkOn(l.evicting ? l.freedWaiters : l.readyWaiters);
+        continue;
+      }
+      if (l.state == LineState::kReady || l.state == LineState::kModified) {
+        ctx.charge(cache_.costs().lineCopy);
+        std::memcpy(l.data, staging, nvme::kLbaBytes);
+        // Written through: the cached copy matches what will be on flash.
+        l.state = LineState::kReady;
+      }
+      break;
+    }
+    if constexpr (Share::kEnabled) share_.invalidate(tag);
+
+    if (buf.own()->barrier().ready()) buf.own()->barrier().reset();
+    buf.own()->barrier().addPending();
+    nvme::Sqe cmd = makeCmd(nvme::Opcode::kWrite, lba,
+                            host_->gpu().hbm().physAddr(staging));
+    Transaction txn;
+    txn.kind = TxnKind::kBufWrite;
+    txn.staging = staging;
+    txn.stagingPool = &host_->staging();
+    txn.barrier = &buf.own()->barrier();
+    co_await issueToSsd(ctx, dev, cmd, txn, chain);
+  }
+
+  // buf.wait(): true on success, false if any transaction failed.
+  gpu::GpuTask<bool> waitBuf(gpu::KernelCtx& ctx, AgileBufPtr& buf) {
+    AGILE_CHECK(buf.active() != nullptr);
+    co_return co_await barrierWait(ctx, buf.active()->barrier());
+  }
+
+  // Detach a pointer that was redirected to a peer's buffer by the Share
+  // Table. If this holder was the last and the buffer was modified, the
+  // update is propagated to the software cache (the L2 of §3.4.1) before the
+  // memory is considered free. Owners release with releaseOwned().
+  gpu::GpuTask<void> releaseBuf(gpu::KernelCtx& ctx, AgileBufPtr& buf,
+                                AgileLockChain& chain) {
+    if constexpr (Share::kEnabled) {
+      if (buf.isShared()) {
+        ShareEntry* e = buf.shareEntry();
+        AGILE_CHECK_MSG(e->buf != nullptr, "corrupt share entry");
+        AGILE_CHECK_MSG(buf.active()->barrier().ready(),
+                        "release while transfer in flight");
+        const std::uint64_t tag = e->tag;
+        AgileBuf& data = *buf.active();
+        bool needProp = false;
+        if (share_.release(ctx, *e, &needProp) && needProp) {
+          co_await propagateToCache(ctx, tag, data, chain);
+        }
+      }
+    }
+    co_return;
+  }
+
+  // Owner-side release, keyed by the page the buffer holds.
+  gpu::GpuTask<void> releaseOwned(gpu::KernelCtx& ctx, std::uint32_t dev,
+                                  std::uint64_t lba, AgileBufPtr& buf,
+                                  AgileLockChain& chain) {
+    if constexpr (Share::kEnabled) {
+      ShareEntry* e = share_.find(makeTag(dev, lba));
+      if (e != nullptr) {
+        AGILE_CHECK(buf.active()->barrier().ready());
+        bool needProp = false;
+        if (share_.release(ctx, *e, &needProp) && needProp) {
+          co_await propagateToCache(ctx, makeTag(dev, lba), *buf.active(),
+                                    chain);
+        }
+      }
+    }
+    co_return;
+  }
+
+  // Mark a shared buffer dirty (MOESI Modified, §3.4.1).
+  void markBufModified(AgileBufPtr& buf) {
+    if constexpr (Share::kEnabled) {
+      if (buf.shareEntry() != nullptr) {
+        share_.markModified(*buf.shareEntry());
+      }
+    }
+  }
+
+  // ------------------------------------------------------- Method 3 ----
+
+  // Synchronous element read through the software cache (the paper's
+  // agileArr[dev][idx]). T must not straddle SSD pages.
+  template <class T>
+  gpu::GpuTask<T> arrayRead(gpu::KernelCtx& ctx, std::uint32_t dev,
+                            std::uint64_t elemIdx, AgileLockChain& chain) {
+    ++stats_.arrayReads;
+    const std::uint64_t byteOff = elemIdx * sizeof(T);
+    const std::uint64_t lba = byteOff / nvme::kLbaBytes;
+    const std::uint32_t off = byteOff % nvme::kLbaBytes;
+    AGILE_CHECK_MSG(off + sizeof(T) <= nvme::kLbaBytes,
+                    "element straddles SSD pages");
+    const std::uint64_t tag = makeTag(dev, lba);
+
+    for (std::uint32_t attempt = 0; attempt < cfg_.maxArrayRetries;
+         ++attempt) {
+      const ProbeResult r = cache_.probeOrClaim(ctx, tag);
+      switch (r.outcome) {
+        case ProbeOutcome::kHit: {
+          ctx.charge(cache_.costs().word);
+          T v;
+          std::memcpy(&v, cache_.line(r.line).data + off, sizeof(T));
+          co_return v;
+        }
+        case ProbeOutcome::kBusy:
+          co_await ctx.parkOn(cache_.line(r.line).readyWaiters);
+          break;
+        case ProbeOutcome::kClaimed:
+          co_await issueFill(ctx, dev, lba, cache_.line(r.line), chain);
+          break;
+        case ProbeOutcome::kNeedWriteback:
+          co_await issueWriteback(ctx, cache_.line(r.line), chain);
+          break;
+        case ProbeOutcome::kStall:
+          // Every candidate line is BUSY: park until a completion frees one
+          // (timed backoff would melt down under cache thrash, §4.4/Fig 10).
+          co_await ctx.parkOn(cache_.stallWaiters());
+          break;
+      }
+    }
+    AGILE_CHECK_MSG(false, "arrayRead retry budget exhausted");
+    co_return T{};
+  }
+
+  // Warp-coalesced synchronous read: one cache access per distinct element
+  // per warp; the value is broadcast with a shuffle. Requires converged
+  // lanes (CUDA warp-primitive semantics). T must fit in 8 bytes.
+  template <class T>
+  gpu::GpuTask<T> arrayReadCoalesced(gpu::KernelCtx& ctx, std::uint32_t dev,
+                                     std::uint64_t elemIdx,
+                                     AgileLockChain& chain) {
+    static_assert(sizeof(T) <= sizeof(std::uint64_t));
+    ctx.charge(cost::kCoalesceMatch);
+    const std::uint32_t peers = co_await gpu::warpMatchAny(ctx, elemIdx);
+    const auto leader = static_cast<std::uint32_t>(std::countr_zero(peers));
+    std::uint64_t raw = 0;
+    if (ctx.laneId() == leader) {
+      const T v = co_await arrayRead<T>(ctx, dev, elemIdx, chain);
+      std::memcpy(&raw, &v, sizeof(T));
+    }
+    raw = co_await gpu::warpShfl(ctx, raw, leader);
+    T out;
+    std::memcpy(&out, &raw, sizeof(T));
+    co_return out;
+  }
+
+  // Synchronous element store (read-modify-write through the cache; the
+  // line turns MODIFIED and is written back on eviction).
+  template <class T>
+  gpu::GpuTask<void> arrayWrite(gpu::KernelCtx& ctx, std::uint32_t dev,
+                                std::uint64_t elemIdx, T value,
+                                AgileLockChain& chain) {
+    ++stats_.arrayWrites;
+    const std::uint64_t byteOff = elemIdx * sizeof(T);
+    const std::uint64_t lba = byteOff / nvme::kLbaBytes;
+    const std::uint32_t off = byteOff % nvme::kLbaBytes;
+    AGILE_CHECK(off + sizeof(T) <= nvme::kLbaBytes);
+    const std::uint64_t tag = makeTag(dev, lba);
+
+    for (std::uint32_t attempt = 0; attempt < cfg_.maxArrayRetries;
+         ++attempt) {
+      const ProbeResult r = cache_.probeOrClaim(ctx, tag);
+      switch (r.outcome) {
+        case ProbeOutcome::kHit: {
+          ctx.charge(cache_.costs().word);
+          std::memcpy(cache_.line(r.line).data + off, &value, sizeof(T));
+          cache_.markModified(r.line);
+          if constexpr (Share::kEnabled) share_.invalidate(tag);
+          co_return;
+        }
+        case ProbeOutcome::kBusy:
+          co_await ctx.parkOn(cache_.line(r.line).readyWaiters);
+          break;
+        case ProbeOutcome::kClaimed:
+          co_await issueFill(ctx, dev, lba, cache_.line(r.line), chain);
+          break;
+        case ProbeOutcome::kNeedWriteback:
+          co_await issueWriteback(ctx, cache_.line(r.line), chain);
+          break;
+        case ProbeOutcome::kStall:
+          // Every candidate line is BUSY: park until a completion frees one
+          // (timed backoff would melt down under cache thrash, §4.4/Fig 10).
+          co_await ctx.parkOn(cache_.stallWaiters());
+          break;
+      }
+    }
+    AGILE_CHECK_MSG(false, "arrayWrite retry budget exhausted");
+  }
+
+  // ----------------------------------------------------- internals ----
+
+  // Claim-and-fill used by prefetch and by the array API miss path.
+  gpu::GpuTask<void> fillCacheLine(gpu::KernelCtx& ctx, std::uint32_t dev,
+                                   std::uint64_t lba, AgileLockChain& chain,
+                                   bool bounded) {
+    const std::uint64_t tag = makeTag(dev, lba);
+    const std::uint32_t budget = bounded ? 64u : cfg_.maxArrayRetries;
+    for (std::uint32_t attempt = 0; attempt < budget; ++attempt) {
+      const ProbeResult r = cache_.probeOrClaim(ctx, tag);
+      switch (r.outcome) {
+        case ProbeOutcome::kHit:
+        case ProbeOutcome::kBusy:
+          co_return;  // already present or in flight (second-level coalesce)
+        case ProbeOutcome::kClaimed:
+          co_await issueFill(ctx, dev, lba, cache_.line(r.line), chain);
+          co_return;
+        case ProbeOutcome::kNeedWriteback:
+          co_await issueWriteback(ctx, cache_.line(r.line), chain);
+          break;
+        case ProbeOutcome::kStall:
+          // Every candidate line is BUSY: park until a completion frees one
+          // (timed backoff would melt down under cache thrash, §4.4/Fig 10).
+          co_await ctx.parkOn(cache_.stallWaiters());
+          break;
+      }
+    }
+    ++stats_.prefetchDropped;  // cache too contended; demand fetch later
+  }
+
+  gpu::GpuTask<void> issueFill(gpu::KernelCtx& ctx, std::uint32_t dev,
+                               std::uint64_t lba, CacheLine& line,
+                               AgileLockChain& chain) {
+    nvme::Sqe cmd = makeCmd(nvme::Opcode::kRead, lba,
+                            host_->gpu().hbm().physAddr(line.data));
+    Transaction txn;
+    txn.kind = TxnKind::kCacheFill;
+    txn.line = &line;
+    co_await issueToSsd(ctx, dev, cmd, txn, chain);
+  }
+
+  gpu::GpuTask<void> issueWriteback(gpu::KernelCtx& ctx, CacheLine& line,
+                                    AgileLockChain& chain) {
+    AGILE_CHECK(line.state == LineState::kBusy && line.evicting);
+    const std::uint32_t dev = tagDev(line.tag);
+    const std::uint64_t lba = tagLba(line.tag);
+    nvme::Sqe cmd = makeCmd(nvme::Opcode::kWrite, lba,
+                            host_->gpu().hbm().physAddr(line.data));
+    Transaction txn;
+    txn.kind = TxnKind::kCacheWriteback;
+    txn.line = &line;
+    co_await issueToSsd(ctx, dev, cmd, txn, chain);
+  }
+
+  // SQ selection (§3.3.1): start from the warp-indexed queue pair of the
+  // target SSD; on a full queue probe the device's other queues; if all are
+  // full, park until the service frees an entry.
+  gpu::GpuTask<std::uint32_t> issueToSsd(gpu::KernelCtx& ctx,
+                                         std::uint32_t dev, nvme::Sqe cmd,
+                                         Transaction txn,
+                                         AgileLockChain& chain) {
+    QueuePairSet& qps = host_->queuePairs();
+    const std::uint32_t first = qps.firstForSsd(dev);
+    const std::uint32_t n = qps.countForSsd(dev);
+    const std::uint32_t preferred =
+        (ctx.globalThreadIdx() / gpu::kWarpSize) % n;
+    for (;;) {
+      for (std::uint32_t k = 0; k < n; ++k) {
+        AgileSq& sq = *qps.sqs[first + (preferred + k) % n];
+        ctx.charge(cost::kSqeAlloc);
+        const std::uint32_t slot = sq.tryAlloc();
+        if (slot == kNoSlot) continue;
+        co_await issueOnSlot(ctx, sq, slot, cmd, txn, chain);
+        co_return slot;
+      }
+      // Every queue of this SSD is full: wait for the service (not another
+      // user thread) to release an entry — the §2.3.1 deadlock cannot form.
+      co_await ctx.parkOn(qps.sqs[first + preferred]->freeWaiters);
+    }
+  }
+
+ private:
+  // Propagate a Modified shared buffer into the software cache (becomes a
+  // MODIFIED line; the normal eviction path writes it to flash).
+  gpu::GpuTask<void> propagateToCache(gpu::KernelCtx& ctx, std::uint64_t tag,
+                                      AgileBuf& buf, AgileLockChain& chain) {
+    for (std::uint32_t attempt = 0; attempt < cfg_.maxArrayRetries;
+         ++attempt) {
+      const ProbeResult r = cache_.probeOrClaim(ctx, tag);
+      switch (r.outcome) {
+        case ProbeOutcome::kHit: {
+          ctx.charge(cache_.costs().lineCopy);
+          std::memcpy(cache_.line(r.line).data, buf.data(), nvme::kLbaBytes);
+          cache_.markModified(r.line);
+          co_return;
+        }
+        case ProbeOutcome::kClaimed: {
+          // Local fill from the buffer — no SSD round trip.
+          CacheLine& l = cache_.line(r.line);
+          ctx.charge(cache_.costs().lineCopy);
+          std::memcpy(l.data, buf.data(), nvme::kLbaBytes);
+          l.state = LineState::kModified;
+          l.readyWaiters.notifyAll(ctx.engine());
+          co_return;
+        }
+        case ProbeOutcome::kBusy:
+          co_await ctx.parkOn(cache_.line(r.line).readyWaiters);
+          break;
+        case ProbeOutcome::kNeedWriteback:
+          co_await issueWriteback(ctx, cache_.line(r.line), chain);
+          break;
+        case ProbeOutcome::kStall:
+          // Every candidate line is BUSY: park until a completion frees one
+          // (timed backoff would melt down under cache thrash, §4.4/Fig 10).
+          co_await ctx.parkOn(cache_.stallWaiters());
+          break;
+      }
+    }
+    AGILE_CHECK_MSG(false, "share propagation retry budget exhausted");
+  }
+
+  static nvme::Sqe makeCmd(nvme::Opcode op, std::uint64_t lba,
+                           std::uint64_t prp1) {
+    nvme::Sqe cmd;
+    cmd.opcode = static_cast<std::uint8_t>(op);
+    cmd.prp1 = prp1;
+    cmd.slba = lba;
+    cmd.nlb = 0;
+    return cmd;
+  }
+
+  AgileHost* host_;
+  CtrlConfig cfg_;
+  Cache cache_;
+  Share share_;
+  CtrlStats stats_;
+};
+
+using DefaultCtrl = AgileCtrl<ClockPolicy, DefaultSharePolicy>;
+
+}  // namespace agile::core

@@ -1,0 +1,105 @@
+// AgileHost: the host-side orchestration of Listing 1 — device discovery
+// (addNvmeDev), queue-pair initialization in HBM (initNvme), starting and
+// stopping the AGILE service kernel, and launching application kernels.
+//
+// In the simulator the GDRCopy pin/translate and BAR mmap steps of §3.1
+// collapse into Hbm::physAddr + SsdController::attachHbm, but the sequence
+// (allocate rings in HBM → register with SSDs → register doorbells → start
+// service → run kernels → stop service → close) is preserved.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+#include "core/io_queues.h"
+#include "core/service.h"
+#include "gpu/exec.h"
+#include "nvme/ssd.h"
+#include "sim/engine.h"
+
+namespace agile::core {
+
+struct HostConfig {
+  gpu::GpuConfig gpu;
+  std::uint32_t queuePairsPerSsd = 8;
+  std::uint32_t queueDepth = 256;
+  std::uint32_t stagingPages = 1024;
+  ServiceConfig service;
+  // Pin the service kernel to a dedicated SM (see GpuConfig::reservedSms).
+  bool reserveServiceSm = true;
+  // Virtual-time watchdog for runKernel: a kernel exceeding this is treated
+  // as hung (deadlock tests rely on it).
+  SimTime kernelTimeout = 30_s;
+};
+
+class AgileHost {
+ public:
+  explicit AgileHost(HostConfig cfg = {});
+  ~AgileHost();
+  AgileHost(const AgileHost&) = delete;
+  AgileHost& operator=(const AgileHost&) = delete;
+
+  sim::Engine& engine() { return engine_; }
+  gpu::Gpu& gpu() { return gpu_; }
+  const HostConfig& config() const { return cfg_; }
+
+  // --- device management ---
+  std::uint32_t addNvmeDev(nvme::SsdConfig cfg);
+  std::uint32_t ssdCount() const {
+    return static_cast<std::uint32_t>(ssds_.size());
+  }
+  nvme::SsdController& ssd(std::uint32_t i) { return *ssds_[i]; }
+
+  // Allocate SQ/CQ rings in HBM and register them with every SSD.
+  void initNvme();
+  bool nvmeReady() const { return nvmeReady_; }
+  QueuePairSet& queuePairs() { return qps_; }
+  StagingPool& staging() {
+    AGILE_CHECK(staging_ != nullptr);
+    return *staging_;
+  }
+
+  // --- AGILE service lifecycle ---
+  void startAgile();
+  void stopAgile();
+  bool serviceRunning() const { return serviceKernel_ != nullptr; }
+  AgileService& service() {
+    AGILE_CHECK(service_ != nullptr);
+    return *service_;
+  }
+
+  // --- kernels ---
+  gpu::KernelHandle launchKernel(gpu::LaunchConfig cfg, gpu::KernelFn fn) {
+    return gpu_.launch(std::move(cfg), std::move(fn));
+  }
+  // Launch and run to completion; false on virtual-time watchdog expiry
+  // (simulated deadlock/hang).
+  bool runKernel(gpu::LaunchConfig cfg, gpu::KernelFn fn);
+  bool wait(const gpu::KernelHandle& k) {
+    return gpu_.wait(k, engine_.now() + cfg_.kernelTimeout);
+  }
+
+  // Run the engine until all in-flight NVMe transactions drain.
+  bool drainIo();
+
+  void closeNvme();
+
+  // Total in-flight AGILE transactions across all SQs.
+  std::uint32_t pendingTransactions() const;
+
+ private:
+  HostConfig cfg_;
+  sim::Engine engine_;
+  gpu::Gpu gpu_;
+  std::vector<std::unique_ptr<nvme::SsdController>> ssds_;
+  QueuePairSet qps_;
+  std::unique_ptr<StagingPool> staging_;
+  std::unique_ptr<AgileService> service_;
+  gpu::KernelHandle serviceKernel_;
+  bool nvmeReady_ = false;
+};
+
+}  // namespace agile::core

@@ -1,0 +1,66 @@
+#include "core/io_queues.h"
+
+namespace agile::core {
+namespace {
+
+// One Attempt_SQDB round (Algorithm 2 lines 13-18): try to take the doorbell
+// lock; the winner scans UPDATED SQEs in ring order, marks them ISSUED, and
+// writes the new tail to the device doorbell register.
+bool attemptSqDoorbell(gpu::KernelCtx& ctx, AgileSq& sq, std::uint32_t slot,
+                       AgileLockChain& chain) {
+  if (sq.dbLock.tryAcquire(ctx, chain)) {
+    std::uint32_t tail = sq.issueTail;
+    std::uint32_t advanced = 0;
+    while (sq.state[tail] == SqeState::kUpdated) {
+      ctx.charge(cost::kDoorbellScanPerSqe);
+      sq.state[tail] = SqeState::kIssued;
+      tail = (tail + 1) % sq.depth;
+      ++advanced;
+    }
+    if (advanced != 0) {
+      ctx.charge(cost::kDoorbellWrite);
+      sq.issueTail = tail;
+      sq.ssd->writeSqDoorbell(sq.qid, tail);
+    }
+    sq.dbLock.release(ctx, chain);
+  }
+  ctx.charge(cost::kSqeStateCheck);
+  return sq.state[slot] == SqeState::kIssued;
+}
+
+}  // namespace
+
+gpu::GpuTask<void> issueOnSlot(gpu::KernelCtx& ctx, AgileSq& sq,
+                               std::uint32_t slot, nvme::Sqe cmd,
+                               Transaction txn, AgileLockChain& chain) {
+  AGILE_CHECK(sq.state[slot] == SqeState::kHeld);
+  // Write the command; its CID is the slot index (unique within the batch).
+  cmd.cid = narrowCast<std::uint16_t>(slot);
+  ctx.charge(cost::kSqeFill);
+  sq.ring[slot] = cmd;
+  sq.txn[slot] = txn;
+  sq.state[slot] = SqeState::kUpdated;
+  // Algorithm 2 line 8-10: retry Attempt_SQDB until this command is covered
+  // by a doorbell write (ours or another thread's).
+  while (!attemptSqDoorbell(ctx, sq, slot, chain)) {
+    co_await ctx.backoff(cost::kLockRetryBackoff);
+  }
+}
+
+gpu::GpuTask<std::uint32_t> issueCommand(gpu::KernelCtx& ctx, AgileSq& sq,
+                                         nvme::Sqe cmd, Transaction txn,
+                                         AgileLockChain& chain) {
+  std::uint32_t slot;
+  for (;;) {
+    ctx.charge(cost::kSqeAlloc);
+    slot = sq.tryAlloc();
+    if (slot != kNoSlot) break;
+    // Queue full: park until the service releases an entry. The user thread
+    // holds no lock while waiting — §3.2.1's deadlock fix.
+    co_await ctx.parkOn(sq.freeWaiters);
+  }
+  co_await issueOnSlot(ctx, sq, slot, cmd, txn, chain);
+  co_return slot;
+}
+
+}  // namespace agile::core

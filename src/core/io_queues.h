@@ -1,0 +1,226 @@
+// AGILE-side NVMe queue state: the SQE lock state machine (EMPTY → HELD →
+// UPDATED → ISSUED → EMPTY, §3.3.1 / Algorithm 2), per-slot transaction
+// records the service uses to release resources on completion (§3.2), and
+// the CQ polling state of Algorithm 1.
+//
+// The command identifier (CID) of every command equals its SQE slot index,
+// which makes it unique within the SQ batch exactly as §3.2.1 requires and
+// lets the service map completions back to transactions in O(1).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "common/check.h"
+#include "core/buf.h"
+#include "core/cache.h"
+#include "core/lock.h"
+#include "nvme/defs.h"
+#include "nvme/ssd.h"
+#include "sim/engine.h"
+
+namespace agile::core {
+
+enum class SqeState : std::uint8_t {
+  kEmpty,    // free for allocation
+  kHeld,     // allocated, command being written
+  kUpdated,  // command visible in memory, not yet covered by the doorbell
+  kIssued,   // doorbell covers it; waiting for completion
+};
+
+enum class TxnKind : std::uint8_t {
+  kNone,
+  kCacheFill,       // read SSD -> cache line (prefetch / array miss)
+  kCacheWriteback,  // write cache line -> SSD (dirty eviction)
+  kBufRead,         // read SSD -> user buffer (asyncRead miss path)
+  kBufWrite,        // write staging -> SSD (asyncWrite)
+};
+
+class StagingPool;
+
+struct Transaction {
+  TxnKind kind = TxnKind::kNone;
+  CacheLine* line = nullptr;
+  AgileBuf* buf = nullptr;
+  AgileTxBarrier* barrier = nullptr;
+  std::byte* staging = nullptr;
+  StagingPool* stagingPool = nullptr;
+};
+
+inline constexpr std::uint32_t kNoSlot = std::numeric_limits<std::uint32_t>::max();
+
+// One submission queue as managed by AGILE (ring lives in HBM, registered
+// with the SSD).
+struct AgileSq {
+  nvme::SsdController* ssd = nullptr;
+  std::uint32_t ssdIdx = 0;
+  std::uint32_t qid = 0;  // device-side queue id
+  nvme::Sqe* ring = nullptr;
+  std::uint32_t depth = 0;
+  std::vector<SqeState> state;
+  std::vector<Transaction> txn;
+  std::uint32_t allocCursor = 0;  // next ring slot to hand out
+  std::uint32_t issueTail = 0;    // ring tail covered by the SQ doorbell
+  std::uint32_t live = 0;         // SQEs not in the EMPTY state
+  std::uint64_t totalIssued = 0;  // lifetime commands allocated on this SQ
+  AgileLock dbLock{"sq-doorbell"};
+  sim::WaitList freeWaiters;  // parked issuers; service notifies on release
+
+  // Claim the next ring slot if it is EMPTY. Ring order allocation matches
+  // NVMe SQ semantics: the tail cannot pass a slot whose command has not
+  // completed (precisely the §2.3.1 full-queue hazard), and one slot always
+  // stays empty so a full ring is distinguishable from an empty one
+  // (tail == head means empty on the wire).
+  std::uint32_t tryAlloc() {
+    if (live == depth - 1) return kNoSlot;
+    const std::uint32_t slot = allocCursor;
+    if (state[slot] != SqeState::kEmpty) return kNoSlot;
+    state[slot] = SqeState::kHeld;
+    ++live;
+    ++totalIssued;
+    allocCursor = (allocCursor + 1) % depth;
+    return slot;
+  }
+
+  std::uint32_t inFlight() const { return live; }
+};
+
+// One completion queue plus the persisted Algorithm-1 polling state.
+struct AgileCq {
+  nvme::SsdController* ssd = nullptr;
+  std::uint32_t ssdIdx = 0;
+  std::uint32_t qid = 0;
+  nvme::Cqe* ring = nullptr;
+  std::uint32_t depth = 0;
+  // Poll window state (Algorithm 1: offset / mask / phase live in global
+  // memory and are re-loaded each service round).
+  std::uint32_t offset = 0;
+  std::uint32_t mask = 0;
+  bool phase = true;
+  std::uint32_t head = 0;  // CQ head doorbell shadow
+  std::uint32_t windowLanes = 32;
+  // Used only by the BaM baseline, whose user threads serialize on the CQ
+  // while consuming completions inline (§2.3.3 / §4.5).
+  AgileLock cqLock{"cq-lock"};
+};
+
+// All queue pairs the host registered, across SSDs. sqs[i] pairs with
+// cqs[i]; the device-side qid of both is identical.
+struct QueuePairSet {
+  std::vector<std::unique_ptr<AgileSq>> sqs;
+  std::vector<std::unique_ptr<AgileCq>> cqs;
+
+  std::uint32_t count() const {
+    return static_cast<std::uint32_t>(sqs.size());
+  }
+
+  // Queue pairs serving a given SSD (contiguous by construction).
+  std::uint32_t firstForSsd(std::uint32_t ssdIdx) const {
+    for (std::uint32_t i = 0; i < sqs.size(); ++i) {
+      if (sqs[i]->ssdIdx == ssdIdx) return i;
+    }
+    AGILE_CHECK_MSG(false, "no queue pair registered for SSD");
+    return 0;
+  }
+  std::uint32_t countForSsd(std::uint32_t ssdIdx) const {
+    std::uint32_t n = 0;
+    for (const auto& sq : sqs) n += sq->ssdIdx == ssdIdx;
+    return n;
+  }
+};
+
+// Fixed pool of page-sized staging buffers for asyncWrite (§3.5: the buffer
+// is reusable "right away", so the write payload is snapshotted here and
+// returned to the pool by the service at completion time).
+class StagingPool {
+ public:
+  StagingPool(gpu::Hbm& hbm, std::uint32_t pages) {
+    AGILE_CHECK(pages >= 1);
+    slab_ = hbm.allocBytes(static_cast<std::uint64_t>(pages) *
+                           nvme::kLbaBytes);
+    for (std::uint32_t i = 0; i < pages; ++i) {
+      free_.push_back(slab_ + static_cast<std::uint64_t>(i) * nvme::kLbaBytes);
+    }
+  }
+
+  std::byte* tryGet() {
+    if (free_.empty()) return nullptr;
+    auto* p = free_.back();
+    free_.pop_back();
+    return p;
+  }
+
+  void put(sim::Engine& engine, std::byte* page) {
+    free_.push_back(page);
+    waiters_.notifyOne(engine);
+  }
+
+  sim::WaitList& waiters() { return waiters_; }
+  std::size_t available() const { return free_.size(); }
+
+ private:
+  std::byte* slab_ = nullptr;
+  std::vector<std::byte*> free_;
+  sim::WaitList waiters_;
+};
+
+// Shared completion-side transition logic: releases the SQE, performs the
+// cache/buffer state change, and recycles staging. Used by the AGILE service
+// (Algorithm 1 lanes) and by the BaM baseline's inline polling, so both
+// stacks interpret transactions identically.
+inline void applyCompletion(sim::Engine& engine, AgileSq& sq,
+                            std::uint32_t slot, nvme::Status status) {
+  AGILE_CHECK(slot < sq.depth);
+  AGILE_CHECK_MSG(sq.state[slot] == SqeState::kIssued,
+                  "completion for a non-issued SQE");
+  Transaction txn = sq.txn[slot];
+  sq.txn[slot] = Transaction{};
+  sq.state[slot] = SqeState::kEmpty;
+  AGILE_CHECK(sq.live > 0);
+  --sq.live;
+
+  switch (txn.kind) {
+    case TxnKind::kCacheFill:
+      AGILE_CHECK(txn.line != nullptr);
+      txn.line->onFillComplete(engine, status);
+      break;
+    case TxnKind::kCacheWriteback:
+      AGILE_CHECK(txn.line != nullptr);
+      txn.line->onWritebackComplete(engine, status);
+      break;
+    case TxnKind::kBufRead:
+      AGILE_CHECK(txn.buf != nullptr);
+      txn.buf->barrier().complete(engine, status);
+      break;
+    case TxnKind::kBufWrite:
+      if (txn.staging != nullptr) {
+        AGILE_CHECK(txn.stagingPool != nullptr);
+        txn.stagingPool->put(engine, txn.staging);
+      }
+      if (txn.barrier != nullptr) txn.barrier->complete(engine, status);
+      break;
+    case TxnKind::kNone:
+      AGILE_CHECK_MSG(false, "completion for an empty transaction");
+  }
+  // A freed SQE may unblock an issuer parked on the full queue (§3.2.1's
+  // deadlock elimination: the service, not the user thread, releases).
+  sq.freeWaiters.notifyOne(engine);
+}
+
+// --- Algorithm 2: serialization process in SQs -----------------------------
+
+// Enqueue `cmd` into `sq` at a claimed slot and drive the doorbell protocol
+// until this command is ISSUED. Assumes the slot was claimed via tryAlloc.
+gpu::GpuTask<void> issueOnSlot(gpu::KernelCtx& ctx, AgileSq& sq,
+                               std::uint32_t slot, nvme::Sqe cmd,
+                               Transaction txn, AgileLockChain& chain);
+
+// Full issue path: pick a slot on `sq` (parking on freeWaiters while the
+// queue is full), then issueOnSlot.
+gpu::GpuTask<std::uint32_t> issueCommand(gpu::KernelCtx& ctx, AgileSq& sq,
+                                         nvme::Sqe cmd, Transaction txn,
+                                         AgileLockChain& chain);
+
+}  // namespace agile::core

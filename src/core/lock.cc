@@ -1,0 +1,12 @@
+#include "core/lock.h"
+
+namespace agile::core {
+
+gpu::GpuTask<void> acquire(gpu::KernelCtx& ctx, AgileLock& lock,
+                           AgileLockChain& chain) {
+  while (!lock.tryAcquire(ctx, chain)) {
+    co_await ctx.parkOn(lock.waiters());
+  }
+}
+
+}  // namespace agile::core

@@ -1,0 +1,162 @@
+// AGILE device-side locks and the lock-chain deadlock detector (§3.5).
+//
+// AgileLock models a GPU spin lock word. In the DES, lanes interleave only
+// at co_await points, so tryAcquire within one resume segment is atomic; a
+// failed attempt charges a retry and the caller backs off, exactly like the
+// CAS loop in the CUDA implementation.
+//
+// AgileLockChain is the paper's debug facility: each lane threads the locks
+// it holds onto a chain; when an acquisition fails, every held lock is
+// marked as "release depends on" the target lock, and the dependency graph
+// is walked from the target — if it reaches a lock the lane already holds, a
+// circular wait (deadlock) is reported.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+#include "core/cost_model.h"
+#include "gpu/exec.h"
+#include "sim/engine.h"
+
+namespace agile::core {
+
+class AgileLockChain;
+
+class AgileLock {
+ public:
+  explicit AgileLock(std::string name = "lock") : name_(std::move(name)) {}
+  AgileLock(const AgileLock&) = delete;
+  AgileLock& operator=(const AgileLock&) = delete;
+
+  bool held() const { return held_; }
+  const std::string& name() const { return name_; }
+
+  // Single CAS attempt; charges the attempt cost.
+  bool tryAcquire(gpu::KernelCtx& ctx, AgileLockChain& chain);
+
+  // Release and wake one waiter.
+  void release(gpu::KernelCtx& ctx, AgileLockChain& chain);
+
+  // Park support for waiters (used by acquire()).
+  sim::WaitList& waiters() { return waiters_; }
+
+  // --- deadlock-detector edges: locks this lock's release depends on ---
+  std::vector<AgileLock*>& releaseDeps() { return releaseDeps_; }
+
+ private:
+  friend class AgileLockChain;
+  std::string name_;
+  bool held_ = false;
+  std::uint64_t ownerTag_ = 0;
+  sim::WaitList waiters_;
+  std::vector<AgileLock*> releaseDeps_;
+};
+
+// Per-lane chain of held locks (paper Listing 1, line 6).
+class AgileLockChain {
+ public:
+  explicit AgileLockChain(bool debugDetect = false)
+      : debugDetect_(debugDetect) {}
+
+  bool debug() const { return debugDetect_; }
+  const std::vector<AgileLock*>& held() const { return held_; }
+  bool deadlockReported() const { return deadlockReported_; }
+  const std::string& deadlockDetail() const { return deadlockDetail_; }
+
+  // --- called by AgileLock ---
+  void onAcquired(AgileLock* l) { held_.push_back(l); }
+  void onReleased(AgileLock* l);
+
+  // Record the failed attempt and run cycle detection. Returns true if a
+  // circular dependency (deadlock) was found.
+  bool onAcquireFailed(AgileLock* target);
+
+ private:
+  bool reaches(AgileLock* from, AgileLock* goal,
+               std::unordered_set<AgileLock*>& visited) const;
+
+  bool debugDetect_;
+  std::vector<AgileLock*> held_;
+  bool deadlockReported_ = false;
+  std::string deadlockDetail_;
+};
+
+inline bool AgileLock::tryAcquire(gpu::KernelCtx& ctx, AgileLockChain& chain) {
+  ctx.charge(cost::kLockTry);
+  if (held_) {
+    if (chain.debug() && chain.onAcquireFailed(this)) {
+      // Deadlock reported through the chain; the caller decides how to
+      // surface it (tests assert on deadlockReported()).
+    }
+    return false;
+  }
+  held_ = true;
+  ownerTag_ = ctx.globalThreadIdx() + 1;
+  chain.onAcquired(this);
+  return true;
+}
+
+inline void AgileLock::release(gpu::KernelCtx& ctx, AgileLockChain& chain) {
+  AGILE_CHECK_MSG(held_, "releasing a lock that is not held");
+  ctx.charge(cost::kLockRelease);
+  held_ = false;
+  ownerTag_ = 0;
+  releaseDeps_.clear();
+  chain.onReleased(this);
+  waiters_.notifyOne(ctx.engine());
+}
+
+inline void AgileLockChain::onReleased(AgileLock* l) {
+  for (auto it = held_.rbegin(); it != held_.rend(); ++it) {
+    if (*it == l) {
+      held_.erase(std::next(it).base());
+      return;
+    }
+  }
+  AGILE_CHECK_MSG(false, "released lock not in this chain");
+}
+
+inline bool AgileLockChain::onAcquireFailed(AgileLock* target) {
+  // Mark: every lock we hold will only be released after `target` is
+  // acquired.
+  for (AgileLock* h : held_) {
+    auto& deps = h->releaseDeps();
+    bool present = false;
+    for (AgileLock* d : deps) present |= d == target;
+    if (!present) deps.push_back(target);
+  }
+  // Walk the dependency graph from `target`; reaching a held lock means the
+  // wait is circular.
+  std::unordered_set<AgileLock*> visited;
+  for (AgileLock* h : held_) {
+    if (reaches(target, h, visited)) {
+      deadlockReported_ = true;
+      deadlockDetail_ = "circular wait: blocked on '" + target->name() +
+                        "' while holding '" + h->name() + "'";
+      return true;
+    }
+  }
+  return false;
+}
+
+inline bool AgileLockChain::reaches(
+    AgileLock* from, AgileLock* goal,
+    std::unordered_set<AgileLock*>& visited) const {
+  if (from == goal) return true;
+  if (!visited.insert(from).second) return false;
+  for (AgileLock* next : from->releaseDeps()) {
+    if (reaches(next, goal, visited)) return true;
+  }
+  return false;
+}
+
+// Acquire with bounded exponential backoff; composes as a coroutine.
+gpu::GpuTask<void> acquire(gpu::KernelCtx& ctx, AgileLock& lock,
+                           AgileLockChain& chain);
+
+}  // namespace agile::core

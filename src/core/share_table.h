@@ -1,0 +1,146 @@
+// Share Table (§3.4.1): extends coherency to user-specified buffers.
+//
+// A hashtable keyed by (device, lba) records which user buffer currently
+// owns a copy of an SSD page fetched through asyncRead. The MOESI-inspired
+// protocol is reinterpreted for pointer sharing: instead of duplicating data
+// per thread, later readers are handed a pointer to the owner's buffer and a
+// reference count tracks use. A writer moves the entry to Modified; the last
+// releaser of a Modified entry is responsible for propagating the update to
+// the L2 (software cache in HBM) — the ctrl performs that propagation on
+// release.
+//
+// The sharing decision is a CRTP policy, mirroring the customization hook
+// the paper exposes; NeverSharePolicy compiles the table away (the paper's
+// compile-time disable).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "core/buf.h"
+#include "core/cost_model.h"
+#include "gpu/exec.h"
+
+namespace agile::core {
+
+// Buffer-ownership states (MOESI reinterpreted per §3.4.1: Owned/Exclusive
+// collapse onto the pointer holder; Invalid is absence from the table).
+enum class ShareState : std::uint8_t {
+  kExclusive,  // one reader
+  kShared,     // multiple readers attached to one buffer
+  kModified,   // written; must be propagated to the software cache
+};
+
+struct ShareEntry {
+  std::uint64_t tag = 0;
+  AgileBuf* buf = nullptr;
+  std::uint32_t refCount = 0;
+  ShareState state = ShareState::kExclusive;
+};
+
+template <class Derived>
+class SharePolicyBase {
+ public:
+  static constexpr bool kEnabled = true;
+  // Whether this page is worth tracking (e.g., policies may exclude
+  // streaming data).
+  bool shouldTrack(std::uint64_t tag) {
+    return static_cast<Derived&>(*this).doShouldTrack(tag);
+  }
+};
+
+class DefaultSharePolicy : public SharePolicyBase<DefaultSharePolicy> {
+ public:
+  bool doShouldTrack(std::uint64_t) { return true; }
+};
+
+// Compile-time off switch: AgileCtrl specializes its asyncRead path away.
+class NeverSharePolicy : public SharePolicyBase<NeverSharePolicy> {
+ public:
+  static constexpr bool kEnabled = false;
+  bool doShouldTrack(std::uint64_t) { return false; }
+};
+
+struct ShareStats {
+  std::uint64_t hits = 0;       // redirected to an existing buffer
+  std::uint64_t inserts = 0;
+  std::uint64_t releases = 0;
+  std::uint64_t propagations = 0;  // Modified data pushed to the L2 cache
+};
+
+template <class Policy>
+class ShareTable {
+ public:
+  explicit ShareTable(Policy policy = {}) : policy_(std::move(policy)) {}
+
+  static constexpr bool kEnabled = Policy::kEnabled;
+
+  Policy& policy() { return policy_; }
+  const ShareStats& stats() const { return stats_; }
+  std::size_t size() const { return map_.size(); }
+
+  // Probe for an existing owner of `tag`; on hit, attach (refCount++).
+  ShareEntry* attach(gpu::KernelCtx& ctx, std::uint64_t tag) {
+    if (!kEnabled || !policy_.shouldTrack(tag)) return nullptr;
+    ctx.charge(cost::kShareProbe);
+    auto it = map_.find(tag);
+    if (it == map_.end()) return nullptr;
+    ++it->second.refCount;
+    if (it->second.state == ShareState::kExclusive) {
+      it->second.state = ShareState::kShared;
+    }
+    ++stats_.hits;
+    return &it->second;
+  }
+
+  // Register `buf` as the owner of `tag` (first reader). Returns the entry,
+  // or nullptr if the policy declines tracking.
+  ShareEntry* registerOwner(gpu::KernelCtx& ctx, std::uint64_t tag,
+                            AgileBuf& buf) {
+    if (!kEnabled || !policy_.shouldTrack(tag)) return nullptr;
+    ctx.charge(cost::kShareInsert);
+    auto [it, inserted] = map_.try_emplace(tag);
+    AGILE_CHECK_MSG(inserted, "share entry already exists for tag");
+    it->second.tag = tag;
+    it->second.buf = &buf;
+    it->second.refCount = 1;
+    it->second.state = ShareState::kExclusive;
+    ++stats_.inserts;
+    return &it->second;
+  }
+
+  // A holder writes through its pointer: entry moves to Modified.
+  void markModified(ShareEntry& entry) { entry.state = ShareState::kModified; }
+
+  // Detach one holder. Returns true (with *needPropagate set) when this was
+  // the last reference: the entry is removed and, if Modified, the caller
+  // must propagate the buffer to the software cache before reusing it.
+  bool release(gpu::KernelCtx& ctx, ShareEntry& entry, bool* needPropagate) {
+    ctx.charge(cost::kShareRelease);
+    AGILE_CHECK(entry.refCount > 0);
+    ++stats_.releases;
+    --entry.refCount;
+    if (entry.refCount != 0) return false;
+    *needPropagate = entry.state == ShareState::kModified;
+    if (*needPropagate) ++stats_.propagations;
+    map_.erase(entry.tag);
+    return true;
+  }
+
+  // Writers through other paths (asyncWrite / array store) invalidate the
+  // tracked buffer for future readers; current holders keep their snapshot.
+  void invalidate(std::uint64_t tag) { map_.erase(tag); }
+
+  ShareEntry* find(std::uint64_t tag) {
+    auto it = map_.find(tag);
+    return it == map_.end() ? nullptr : &it->second;
+  }
+
+ private:
+  Policy policy_;
+  std::unordered_map<std::uint64_t, ShareEntry> map_;
+  ShareStats stats_;
+};
+
+}  // namespace agile::core

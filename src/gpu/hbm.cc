@@ -1,0 +1,48 @@
+#include "gpu/hbm.h"
+
+#include <cstring>
+
+namespace agile::gpu {
+
+Hbm::Hbm(std::uint64_t capacityBytes) : capacity_(capacityBytes) {}
+
+std::byte* Hbm::allocBytes(std::uint64_t bytes, std::uint64_t align) {
+  AGILE_CHECK(bytes > 0);
+  AGILE_CHECK(isPowerOfTwo(align));
+  const std::uint64_t padded = (bytes + align - 1) & ~(align - 1);
+  AGILE_CHECK_MSG(used_ + padded <= capacity_, "simulated HBM exhausted");
+  used_ += padded;
+
+  Chunk c;
+  c.size = padded;
+  c.base = nextBase_;
+  nextBase_ += padded + 4096;  // guard gap between chunks
+  c.data = std::make_unique<std::byte[]>(padded);
+  std::memset(c.data.get(), 0, padded);
+  auto* p = c.data.get();
+  chunks_.push_back(std::move(c));
+  return p;
+}
+
+std::uint64_t Hbm::physAddr(const void* p) const {
+  const auto* b = static_cast<const std::byte*>(p);
+  for (const auto& c : chunks_) {
+    if (b >= c.data.get() && b < c.data.get() + c.size) {
+      return c.base + static_cast<std::uint64_t>(b - c.data.get());
+    }
+  }
+  AGILE_CHECK_MSG(false, "pointer not inside simulated HBM");
+  return 0;
+}
+
+std::byte* Hbm::fromPhysAddr(std::uint64_t addr) const {
+  for (const auto& c : chunks_) {
+    if (addr >= c.base && addr < c.base + c.size) {
+      return c.data.get() + (addr - c.base);
+    }
+  }
+  AGILE_CHECK_MSG(false, "physical address not inside simulated HBM");
+  return nullptr;
+}
+
+}  // namespace agile::gpu

@@ -1,0 +1,160 @@
+// Coroutine task type for simulated GPU threads.
+//
+// Every simulated GPU thread ("lane") is a C++20 coroutine returning
+// GpuTask<void>. Device-side library functions that may stall (cache reads,
+// NVMe submissions) are themselves coroutines returning GpuTask<T> and are
+// composed with `co_await`, using symmetric transfer so deeply nested calls
+// suspend and resume in O(1).
+//
+// Scheduling protocol: a GpuTask chain only ever suspends back to the warp
+// scheduler through one of the KernelCtx awaitables (yield / sleep / park /
+// warp collectives / block barrier), each of which records the innermost
+// coroutine handle in the Lane. The scheduler resumes that handle directly.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+#include "common/check.h"
+
+namespace agile::gpu {
+
+template <class T>
+class GpuTask;
+
+namespace detail {
+
+struct PromiseBase {
+  std::coroutine_handle<> continuation;
+
+  struct FinalAwaiter {
+    bool await_ready() noexcept { return false; }
+    template <class P>
+    std::coroutine_handle<> await_suspend(
+        std::coroutine_handle<P> h) noexcept {
+      auto cont = h.promise().continuation;
+      return cont ? cont : std::noop_coroutine();
+    }
+    void await_resume() noexcept {}
+  };
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+  FinalAwaiter final_suspend() noexcept { return {}; }
+  // Simulated device code must not throw; a stray exception is a bug in the
+  // kernel, not a recoverable condition.
+  [[noreturn]] void unhandled_exception() { std::terminate(); }
+};
+
+}  // namespace detail
+
+template <class T = void>
+class GpuTask {
+ public:
+  struct promise_type : detail::PromiseBase {
+    T value{};
+    GpuTask get_return_object() {
+      return GpuTask{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    void return_value(T v) { value = std::move(v); }
+  };
+  using Handle = std::coroutine_handle<promise_type>;
+
+  GpuTask() = default;
+  explicit GpuTask(Handle h) : h_(h) {}
+  GpuTask(GpuTask&& o) noexcept : h_(std::exchange(o.h_, nullptr)) {}
+  GpuTask& operator=(GpuTask&& o) noexcept {
+    if (this != &o) {
+      reset();
+      h_ = std::exchange(o.h_, nullptr);
+    }
+    return *this;
+  }
+  GpuTask(const GpuTask&) = delete;
+  GpuTask& operator=(const GpuTask&) = delete;
+  ~GpuTask() { reset(); }
+
+  bool valid() const { return static_cast<bool>(h_); }
+  bool done() const { return !h_ || h_.done(); }
+  Handle handle() const { return h_; }
+
+  void reset() {
+    if (h_) {
+      h_.destroy();
+      h_ = nullptr;
+    }
+  }
+
+  auto operator co_await() noexcept {
+    struct Awaiter {
+      Handle h;
+      bool await_ready() const noexcept { return !h || h.done(); }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<> cont) noexcept {
+        h.promise().continuation = cont;
+        return h;  // symmetric transfer into the child
+      }
+      T await_resume() { return std::move(h.promise().value); }
+    };
+    return Awaiter{h_};
+  }
+
+ private:
+  Handle h_ = nullptr;
+};
+
+template <>
+class GpuTask<void> {
+ public:
+  struct promise_type : detail::PromiseBase {
+    GpuTask get_return_object() {
+      return GpuTask{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    void return_void() {}
+  };
+  using Handle = std::coroutine_handle<promise_type>;
+
+  GpuTask() = default;
+  explicit GpuTask(Handle h) : h_(h) {}
+  GpuTask(GpuTask&& o) noexcept : h_(std::exchange(o.h_, nullptr)) {}
+  GpuTask& operator=(GpuTask&& o) noexcept {
+    if (this != &o) {
+      reset();
+      h_ = std::exchange(o.h_, nullptr);
+    }
+    return *this;
+  }
+  GpuTask(const GpuTask&) = delete;
+  GpuTask& operator=(const GpuTask&) = delete;
+  ~GpuTask() { reset(); }
+
+  bool valid() const { return static_cast<bool>(h_); }
+  bool done() const { return !h_ || h_.done(); }
+  Handle handle() const { return h_; }
+
+  void reset() {
+    if (h_) {
+      h_.destroy();
+      h_ = nullptr;
+    }
+  }
+
+  auto operator co_await() noexcept {
+    struct Awaiter {
+      Handle h;
+      bool await_ready() const noexcept { return !h || h.done(); }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<> cont) noexcept {
+        h.promise().continuation = cont;
+        return h;
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{h_};
+  }
+
+ private:
+  Handle h_ = nullptr;
+};
+
+}  // namespace agile::gpu

@@ -1,0 +1,70 @@
+// NVMe protocol subset: command (SQE) and completion (CQE) layouts, opcodes,
+// and status codes, as used over the simulated PCIe fabric. Field layout
+// follows the NVMe 1.4 base spec closely enough that the queue-handling code
+// in src/core is a faithful transcription of what runs against real SSDs
+// (16-bit CID, phase-tagged completions, doorbell semantics).
+#pragma once
+
+#include <cstdint>
+
+namespace agile::nvme {
+
+enum class Opcode : std::uint8_t {
+  kFlush = 0x00,
+  kWrite = 0x01,
+  kRead = 0x02,
+};
+
+enum class Status : std::uint16_t {
+  kSuccess = 0x0,
+  kInvalidOpcode = 0x1,
+  kInvalidField = 0x2,
+  kLbaOutOfRange = 0x80,
+  kCapacityExceeded = 0x81,
+  // Media and data integrity errors (status code type 2 in the spec; folded
+  // into one enum here).
+  kUnrecoveredReadError = 0x281,
+  kWriteFault = 0x280,
+};
+
+// Submission queue entry (64 bytes on the wire; we keep the fields AGILE
+// uses plus padding so ring arithmetic matches the spec).
+struct Sqe {
+  std::uint8_t opcode = 0;
+  std::uint8_t flags = 0;
+  std::uint16_t cid = 0;       // command identifier, unique per SQ batch
+  std::uint32_t nsid = 1;      // namespace
+  std::uint64_t reserved0 = 0;
+  std::uint64_t metadata = 0;
+  std::uint64_t prp1 = 0;      // simulated physical address of the data buffer
+  std::uint64_t prp2 = 0;
+  std::uint64_t slba = 0;      // starting logical block address
+  std::uint16_t nlb = 0;       // number of logical blocks, 0's-based
+  std::uint16_t control = 0;
+  std::uint32_t dsm = 0;
+  std::uint64_t reserved1 = 0;
+};
+static_assert(sizeof(Sqe) == 64, "SQE must be 64 bytes");
+
+// Completion queue entry (16 bytes). statusPhase bit 0 is the phase tag; the
+// remaining 15 bits are the status field.
+struct Cqe {
+  std::uint32_t dw0 = 0;
+  std::uint32_t reserved = 0;
+  std::uint16_t sqHead = 0;
+  std::uint16_t sqId = 0;
+  std::uint16_t cid = 0;
+  std::uint16_t statusPhase = 0;
+
+  bool phase() const { return (statusPhase & 1u) != 0; }
+  Status status() const { return static_cast<Status>(statusPhase >> 1); }
+  static std::uint16_t makeStatusPhase(Status s, bool phase) {
+    return static_cast<std::uint16_t>((static_cast<std::uint16_t>(s) << 1) |
+                                      (phase ? 1u : 0u));
+  }
+};
+static_assert(sizeof(Cqe) == 16, "CQE must be 16 bytes");
+
+inline constexpr std::uint32_t kLbaBytes = 4096;  // flash page = LBA = 4 KiB
+
+}  // namespace agile::nvme

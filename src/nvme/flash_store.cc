@@ -1,0 +1,58 @@
+#include "nvme/flash_store.h"
+
+#include <cstring>
+
+#include "common/check.h"
+
+namespace agile::nvme {
+
+FlashStore::FlashStore(std::uint64_t capacityLbas)
+    : capacityLbas_(capacityLbas), provider_(&FlashStore::defaultPattern) {
+  AGILE_CHECK(capacityLbas >= 1);
+}
+
+void FlashStore::setContentProvider(ContentProvider provider) {
+  AGILE_CHECK(provider != nullptr);
+  provider_ = std::move(provider);
+}
+
+bool FlashStore::readPage(std::uint64_t lba, std::byte* out) const {
+  if (lba >= capacityLbas_) return false;
+  auto it = pages_.find(lba);
+  if (it != pages_.end()) {
+    std::memcpy(out, it->second.get(), kLbaBytes);
+  } else {
+    provider_(lba, out);
+  }
+  return true;
+}
+
+bool FlashStore::writePage(std::uint64_t lba, const std::byte* in) {
+  if (lba >= capacityLbas_) return false;
+  auto it = pages_.find(lba);
+  if (it == pages_.end()) {
+    it = pages_.emplace(lba, std::make_unique<std::byte[]>(kLbaBytes)).first;
+  }
+  std::memcpy(it->second.get(), in, kLbaBytes);
+  return true;
+}
+
+void FlashStore::trimPage(std::uint64_t lba) { pages_.erase(lba); }
+
+std::uint64_t FlashStore::patternWord(std::uint64_t lba,
+                                      std::uint32_t wordIdx) {
+  std::uint64_t x = lba * 0x9e3779b97f4a7c15ull + wordIdx + 1;
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdull;
+  x ^= x >> 33;
+  return x;
+}
+
+void FlashStore::defaultPattern(std::uint64_t lba, std::byte* out) {
+  auto* words = reinterpret_cast<std::uint64_t*>(out);
+  for (std::uint32_t i = 0; i < kLbaBytes / 8; ++i) {
+    words[i] = patternWord(lba, i);
+  }
+}
+
+}  // namespace agile::nvme

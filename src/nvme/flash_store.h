@@ -1,0 +1,54 @@
+// Sparse flash backing store: page-granular content of one simulated SSD.
+//
+// Pages never written hold generated content from a ContentProvider (default:
+// a deterministic per-page pattern), so benches can "store" terabyte-scale
+// datasets (embedding tables, graphs) without materializing them; pages that
+// are written become real buffers and subsequent reads observe the data —
+// end-to-end data integrity through the cache/NVMe path is testable.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "nvme/defs.h"
+
+namespace agile::nvme {
+
+// Fills `out[0..kLbaBytes)` with the logical content of page `lba`.
+using ContentProvider = std::function<void(std::uint64_t lba, std::byte* out)>;
+
+class FlashStore {
+ public:
+  explicit FlashStore(std::uint64_t capacityLbas);
+
+  std::uint64_t capacityLbas() const { return capacityLbas_; }
+
+  // Replace the default pattern generator for unwritten pages.
+  void setContentProvider(ContentProvider provider);
+
+  // Copy one page into `out`. Returns false if lba is out of range.
+  bool readPage(std::uint64_t lba, std::byte* out) const;
+
+  // Overwrite one page from `in`. Materializes the page.
+  bool writePage(std::uint64_t lba, const std::byte* in);
+
+  // Drop a materialized page back to generated content (used by tests).
+  void trimPage(std::uint64_t lba);
+
+  std::size_t materializedPages() const { return pages_.size(); }
+
+  // The default pattern: page filled with a 64-bit mix of (lba, offset/8),
+  // so any partial or misplaced DMA is detectable.
+  static void defaultPattern(std::uint64_t lba, std::byte* out);
+  static std::uint64_t patternWord(std::uint64_t lba, std::uint32_t wordIdx);
+
+ private:
+  std::uint64_t capacityLbas_;
+  ContentProvider provider_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<std::byte[]>> pages_;
+};
+
+}  // namespace agile::nvme

@@ -1,0 +1,59 @@
+#include "sim/engine.h"
+
+#include <utility>
+
+namespace agile::sim {
+
+void Engine::scheduleAt(SimTime t, std::function<void()> fn) {
+  AGILE_CHECK_MSG(t >= now_, "cannot schedule event in the virtual past");
+  events_.push(Event{t, nextSeq_++, std::move(fn)});
+}
+
+bool Engine::step() {
+  if (events_.empty()) return false;
+  // priority_queue::top returns const&; the event is copied out so the
+  // callback may schedule new events (mutating the heap) while running.
+  Event ev = std::move(const_cast<Event&>(events_.top()));
+  events_.pop();
+  now_ = ev.time;
+  ++executed_;
+  ev.fn();
+  return true;
+}
+
+bool Engine::runUntil(const std::function<bool()>& done) {
+  while (!done()) {
+    if (!step()) return done();
+  }
+  return true;
+}
+
+void Engine::runToCompletion() {
+  while (step()) {
+  }
+}
+
+void Engine::runFor(SimTime deadline) {
+  while (!events_.empty() && events_.top().time <= deadline) {
+    step();
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+void WaitList::notifyAll(Engine& engine) {
+  if (waiters_.empty()) return;
+  auto woken = std::move(waiters_);
+  waiters_.clear();
+  for (auto& w : woken) {
+    engine.scheduleAfter(0, std::move(w));
+  }
+}
+
+void WaitList::notifyOne(Engine& engine) {
+  if (waiters_.empty()) return;
+  auto w = std::move(waiters_.front());
+  waiters_.erase(waiters_.begin());
+  engine.scheduleAfter(0, std::move(w));
+}
+
+}  // namespace agile::sim

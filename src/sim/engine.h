@@ -1,0 +1,99 @@
+// Discrete-event simulation engine: a virtual nanosecond clock and an event
+// heap. Everything timed in the repository (SM warp segments, NVMe command
+// completions, doorbell fetch delays, service polling) is an event here.
+//
+// The engine is strictly single-threaded and deterministic: events at the
+// same timestamp fire in schedule order (tie broken by sequence number).
+// Parallelism in benches comes from running independent engines on separate
+// host threads (see sim/sweep.h), mirroring how sweep points in the paper are
+// independent runs.
+#pragma once
+
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/check.h"
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace agile::sim {
+
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  SimTime now() const { return now_; }
+
+  // Schedule `fn` to run at absolute virtual time `t` (>= now).
+  void scheduleAt(SimTime t, std::function<void()> fn);
+
+  // Schedule `fn` to run `delay` ns from now.
+  void scheduleAfter(SimTime delay, std::function<void()> fn) {
+    scheduleAt(now_ + delay, std::move(fn));
+  }
+
+  // Run until the predicate returns true or no events remain.
+  // Returns true if the predicate was satisfied.
+  bool runUntil(const std::function<bool()>& done);
+
+  // Run until the event heap drains.
+  void runToCompletion();
+
+  // Run until virtual time would exceed `deadline`; events at later times
+  // stay queued.
+  void runFor(SimTime deadline);
+
+  bool idle() const { return events_.empty(); }
+  std::size_t pendingEvents() const { return events_.size(); }
+  std::uint64_t executedEvents() const { return executed_; }
+
+  StatsRegistry& stats() { return stats_; }
+  const StatsRegistry& stats() const { return stats_; }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool step();
+
+  SimTime now_ = 0;
+  std::uint64_t nextSeq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> events_;
+  StatsRegistry stats_;
+};
+
+// A list of parked continuations woken by an explicit notify. Used for
+// event-driven wakeups of GPU lanes stalled on I/O barriers, cache-line state
+// changes, and share-table transitions (instead of per-lane busy polling,
+// which would swamp the event heap at 10^5 concurrent requests).
+class WaitList {
+ public:
+  void park(std::function<void()> wake) { waiters_.push_back(std::move(wake)); }
+
+  // Wake all waiters through the engine at `engine.now()`.
+  void notifyAll(Engine& engine);
+
+  // Wake one waiter (FIFO).
+  void notifyOne(Engine& engine);
+
+  bool empty() const { return waiters_.empty(); }
+  std::size_t size() const { return waiters_.size(); }
+
+ private:
+  std::vector<std::function<void()>> waiters_;
+};
+
+}  // namespace agile::sim

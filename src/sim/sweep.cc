@@ -1,0 +1,34 @@
+#include "sim/sweep.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace agile::sim {
+
+void parallelFor(std::size_t n, const std::function<void(std::size_t)>& fn,
+                 unsigned threads) {
+  if (n == 0) return;
+  unsigned hw = threads != 0 ? threads : std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+  if (hw > n) hw = static_cast<unsigned>(n);
+  if (hw == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(hw);
+  for (unsigned t = 0; t < hw; ++t) {
+    pool.emplace_back([&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) return;
+        fn(i);
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+}
+
+}  // namespace agile::sim

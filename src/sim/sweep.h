@@ -1,0 +1,18 @@
+// Parallel sweep runner: figure benches evaluate many independent simulation
+// points (batch sizes, queue-pair counts, cache sizes). Each point owns its
+// own Engine, so points run on real host threads in parallel while each
+// simulation stays deterministic.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace agile::sim {
+
+// Runs fn(i) for i in [0, n) across up to `threads` host threads
+// (0 = hardware concurrency). Results must be written into caller-provided
+// per-index slots; fn must not touch shared mutable state.
+void parallelFor(std::size_t n, const std::function<void(std::size_t)>& fn,
+                 unsigned threads = 0);
+
+}  // namespace agile::sim

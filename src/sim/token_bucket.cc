@@ -1,0 +1,53 @@
+#include "sim/token_bucket.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace agile::sim {
+namespace {
+
+constexpr double kNsPerSec = 1e9;
+
+}  // namespace
+
+TokenBucket::TokenBucket(double ratePerSec, double burst)
+    : rate_(ratePerSec), burst_(burst) {
+  AGILE_CHECK(ratePerSec > 0.0);
+  AGILE_CHECK(burst >= 1.0);
+}
+
+SimTime TokenBucket::reserve(SimTime now, double amount) {
+  AGILE_CHECK(amount >= 0.0);
+  const SimTime completion = peek(now, amount);
+  // Committing `amount` units delays the time at which the bucket refills.
+  const auto delayNs = static_cast<SimTime>(amount / rate_ * kNsPerSec);
+  const SimTime base = std::max(fullAt_, completion);
+  fullAt_ = base + delayNs;
+  return completion;
+}
+
+SimTime TokenBucket::peek(SimTime now, double amount) const {
+  // Tokens available at time t: burst - max(0, (fullAt_ - t) * rate).
+  // The operation completes when available tokens >= amount.
+  const double deficit = amount - burst_;
+  SimTime earliest = now;
+  if (fullAt_ > now) {
+    const double backlogUnits =
+        static_cast<double>(fullAt_ - now) / kNsPerSec * rate_;
+    const double shortfall = backlogUnits + deficit;
+    if (shortfall > 0.0) {
+      earliest = now + static_cast<SimTime>(shortfall / rate_ * kNsPerSec);
+    }
+  } else if (deficit > 0.0) {
+    earliest = now + static_cast<SimTime>(deficit / rate_ * kNsPerSec);
+  }
+  return earliest;
+}
+
+void TokenBucket::setRate(double ratePerSec) {
+  AGILE_CHECK(ratePerSec > 0.0);
+  rate_ = ratePerSec;
+}
+
+}  // namespace agile::sim

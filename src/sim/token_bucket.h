@@ -1,0 +1,36 @@
+// Virtual-time token bucket used to model device service rates (SSD IOPS and
+// byte bandwidth, PCIe link shaping).
+//
+// reserve(now, amount) returns the earliest virtual time at which `amount`
+// units may complete, and advances the bucket's commitment; callers use the
+// returned time as the completion timestamp of the operation.
+#pragma once
+
+#include "common/types.h"
+
+namespace agile::sim {
+
+class TokenBucket {
+ public:
+  // rate: units per second; burst: units that may be consumed instantly.
+  TokenBucket(double ratePerSec, double burst);
+
+  // Reserve `amount` units starting no earlier than `now`.
+  // Returns the virtual completion time of the reservation.
+  SimTime reserve(SimTime now, double amount);
+
+  // Time at which the bucket next has `amount` units free, without reserving.
+  SimTime peek(SimTime now, double amount) const;
+
+  double ratePerSec() const { return rate_; }
+  void setRate(double ratePerSec);
+
+ private:
+  double rate_;   // units per virtual second
+  double burst_;  // capacity in units
+  // The bucket is represented by the virtual time at which it would be full.
+  // Committed work pushes this time forward.
+  SimTime fullAt_ = 0;
+};
+
+}  // namespace agile::sim

@@ -1,0 +1,411 @@
+// Integration tests for AgileCtrl: the three API methods of §3.5 (prefetch,
+// async_issue, array view), two-level coalescing, the Share Table, error
+// propagation, and write coherency.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "bam/bam_ctrl.h"
+#include "core/ctrl.h"
+#include "nvme/flash_store.h"
+
+namespace agile::core {
+namespace {
+
+struct CtrlFixture : ::testing::Test {
+  std::unique_ptr<AgileHost> host;
+  std::unique_ptr<DefaultCtrl> ctrl;
+
+  void build(std::uint32_t cacheLines = 64, std::uint32_t qps = 2,
+             std::uint32_t depth = 64, std::uint32_t ssds = 1) {
+    HostConfig cfg;
+    cfg.queuePairsPerSsd = qps;
+    cfg.queueDepth = depth;
+    cfg.stagingPages = 64;
+    host = std::make_unique<AgileHost>(cfg);
+    for (std::uint32_t i = 0; i < ssds; ++i) {
+      nvme::SsdConfig ssd;
+      ssd.name = "nvme" + std::to_string(i);
+      ssd.capacityLbas = 65536;
+      host->addNvmeDev(ssd);
+    }
+    host->initNvme();
+    ctrl = std::make_unique<DefaultCtrl>(
+        *host, CtrlConfig{.cacheLines = cacheLines});
+    host->startAgile();
+  }
+
+  void TearDown() override {
+    if (host && host->serviceRunning()) host->stopAgile();
+  }
+
+  std::uint64_t expectWord(std::uint64_t lba, std::uint32_t wordIdx) {
+    return nvme::FlashStore::patternWord(lba, wordIdx);
+  }
+};
+
+TEST_F(CtrlFixture, ArrayReadReturnsFlashContent) {
+  build();
+  std::uint64_t got = 0;
+  ASSERT_TRUE(host->runKernel(
+      {.gridDim = 1, .blockDim = 1, .name = "read"},
+      [&](gpu::KernelCtx& ctx) -> gpu::GpuTask<void> {
+        AgileLockChain chain;
+        got = co_await ctrl->arrayRead<std::uint64_t>(ctx, 0, 5, chain);
+      }));
+  EXPECT_EQ(got, expectWord(0, 5));  // element 5 lives in page 0, word 5
+}
+
+TEST_F(CtrlFixture, ArrayReadCrossesPages) {
+  build();
+  std::vector<std::uint64_t> got(4);
+  ASSERT_TRUE(host->runKernel(
+      {.gridDim = 1, .blockDim = 1, .name = "read4"},
+      [&](gpu::KernelCtx& ctx) -> gpu::GpuTask<void> {
+        AgileLockChain chain;
+        for (int i = 0; i < 4; ++i) {
+          // One element per page: element i*512 is word 0 of page i.
+          got[i] = co_await ctrl->arrayRead<std::uint64_t>(
+              ctx, 0, static_cast<std::uint64_t>(i) * 512, chain);
+        }
+      }));
+  for (std::uint64_t i = 0; i < 4; ++i) EXPECT_EQ(got[i], expectWord(i, 0));
+}
+
+TEST_F(CtrlFixture, SecondReadHitsCache) {
+  build();
+  ASSERT_TRUE(host->runKernel(
+      {.gridDim = 1, .blockDim = 1, .name = "hit"},
+      [&](gpu::KernelCtx& ctx) -> gpu::GpuTask<void> {
+        AgileLockChain chain;
+        (void)co_await ctrl->arrayRead<std::uint64_t>(ctx, 0, 3, chain);
+        (void)co_await ctrl->arrayRead<std::uint64_t>(ctx, 0, 4, chain);
+      }));
+  // The first read re-probes (hit) after its fill lands; the second hits
+  // directly — and only one page fill reached the SSD.
+  EXPECT_EQ(ctrl->cache().stats().hits, 2u);
+  EXPECT_EQ(host->ssd(0).readsCompleted(), 1u);  // one page fill only
+}
+
+TEST_F(CtrlFixture, PrefetchHidesFillLatency) {
+  build();
+  ASSERT_TRUE(host->runKernel(
+      {.gridDim = 1, .blockDim = 32, .name = "pf"},
+      [&](gpu::KernelCtx& ctx) -> gpu::GpuTask<void> {
+        AgileLockChain chain;
+        co_await ctrl->prefetch(ctx, 0, ctx.laneId() / 8, chain);
+        // 32 lanes request 4 distinct pages: warp coalescing must collapse
+        // them to 4 fills.
+      }));
+  ASSERT_TRUE(host->drainIo());
+  EXPECT_EQ(host->ssd(0).readsCompleted(), 4u);
+  EXPECT_EQ(ctrl->stats().prefetchCoalesced, 28u);
+}
+
+TEST_F(CtrlFixture, PrefetchThenReadIsHit) {
+  build();
+  std::uint64_t got = 0;
+  ASSERT_TRUE(host->runKernel(
+      {.gridDim = 1, .blockDim = 1, .name = "pf-read"},
+      [&](gpu::KernelCtx& ctx) -> gpu::GpuTask<void> {
+        AgileLockChain chain;
+        co_await ctrl->prefetch(ctx, 0, 9, chain);
+        got = co_await ctrl->arrayRead<std::uint64_t>(ctx, 0, 9 * 512, chain);
+      }));
+  EXPECT_EQ(got, expectWord(9, 0));
+  // Exactly one fill: the array read coalesced onto the prefetch.
+  EXPECT_EQ(host->ssd(0).readsCompleted(), 1u);
+}
+
+TEST_F(CtrlFixture, ArrayWriteReadBack) {
+  build();
+  std::uint64_t got = 0;
+  ASSERT_TRUE(host->runKernel(
+      {.gridDim = 1, .blockDim = 1, .name = "rw"},
+      [&](gpu::KernelCtx& ctx) -> gpu::GpuTask<void> {
+        AgileLockChain chain;
+        co_await ctrl->arrayWrite<std::uint64_t>(ctx, 0, 7, 0xabcdef, chain);
+        got = co_await ctrl->arrayRead<std::uint64_t>(ctx, 0, 7, chain);
+      }));
+  EXPECT_EQ(got, 0xabcdefu);
+}
+
+TEST_F(CtrlFixture, DirtyEvictionPersistsToFlash) {
+  build(/*cacheLines=*/1);  // single line forces eviction
+  std::uint64_t got = 0;
+  ASSERT_TRUE(host->runKernel(
+      {.gridDim = 1, .blockDim = 1, .name = "dirty"},
+      [&](gpu::KernelCtx& ctx) -> gpu::GpuTask<void> {
+        AgileLockChain chain;
+        co_await ctrl->arrayWrite<std::uint64_t>(ctx, 0, 7, 0x1111, chain);
+        // Touch another page: evicts page 0 (writeback).
+        (void)co_await ctrl->arrayRead<std::uint64_t>(ctx, 0, 512, chain);
+        // Read page 0 again: must come back from flash with our value.
+        got = co_await ctrl->arrayRead<std::uint64_t>(ctx, 0, 7, chain);
+      }));
+  EXPECT_EQ(got, 0x1111u);
+  EXPECT_GE(host->ssd(0).writesCompleted(), 1u);
+}
+
+TEST_F(CtrlFixture, AsyncReadIntoBuffer) {
+  build();
+  auto* mem = host->gpu().hbm().allocBytes(nvme::kLbaBytes);
+  bool ok = false;
+  ASSERT_TRUE(host->runKernel(
+      {.gridDim = 1, .blockDim = 1, .name = "aread"},
+      [&](gpu::KernelCtx& ctx) -> gpu::GpuTask<void> {
+        AgileLockChain chain;
+        AgileBuf buf(mem);
+        AgileBufPtr ptr(buf);
+        co_await ctrl->asyncRead(ctx, 0, 21, ptr, chain);
+        ok = co_await ctrl->waitBuf(ctx, ptr);
+      }));
+  EXPECT_TRUE(ok);
+  std::byte expect[nvme::kLbaBytes];
+  nvme::FlashStore::defaultPattern(21, expect);
+  EXPECT_EQ(std::memcmp(mem, expect, nvme::kLbaBytes), 0);
+  EXPECT_EQ(ctrl->stats().directReads, 1u);
+}
+
+TEST_F(CtrlFixture, AsyncReadHitCopiesFromCache) {
+  build();
+  auto* mem = host->gpu().hbm().allocBytes(nvme::kLbaBytes);
+  bool ok = false;
+  ASSERT_TRUE(host->runKernel(
+      {.gridDim = 1, .blockDim = 1, .name = "ahit"},
+      [&](gpu::KernelCtx& ctx) -> gpu::GpuTask<void> {
+        AgileLockChain chain;
+        // Pull page 3 into the cache, then asyncRead it: no new SSD I/O.
+        (void)co_await ctrl->arrayRead<std::uint64_t>(ctx, 0, 3 * 512, chain);
+        AgileBuf buf(mem);
+        AgileBufPtr ptr(buf);
+        co_await ctrl->asyncRead(ctx, 0, 3, ptr, chain);
+        ok = co_await ctrl->waitBuf(ctx, ptr);
+      }));
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(host->ssd(0).readsCompleted(), 1u);
+  std::byte expect[nvme::kLbaBytes];
+  nvme::FlashStore::defaultPattern(3, expect);
+  EXPECT_EQ(std::memcmp(mem, expect, nvme::kLbaBytes), 0);
+}
+
+TEST_F(CtrlFixture, AsyncReadRidesBusyFill) {
+  build();
+  auto* mem = host->gpu().hbm().allocBytes(nvme::kLbaBytes);
+  bool ok = false;
+  ASSERT_TRUE(host->runKernel(
+      {.gridDim = 1, .blockDim = 1, .name = "abusy"},
+      [&](gpu::KernelCtx& ctx) -> gpu::GpuTask<void> {
+        AgileLockChain chain;
+        // Prefetch puts the line in BUSY; asyncRead must append its buffer
+        // to the line's waiter list instead of issuing a second read.
+        co_await ctrl->prefetch(ctx, 0, 11, chain);
+        AgileBuf buf(mem);
+        AgileBufPtr ptr(buf);
+        co_await ctrl->asyncRead(ctx, 0, 11, ptr, chain);
+        ok = co_await ctrl->waitBuf(ctx, ptr);
+      }));
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(host->ssd(0).readsCompleted(), 1u);  // coalesced
+  std::byte expect[nvme::kLbaBytes];
+  nvme::FlashStore::defaultPattern(11, expect);
+  EXPECT_EQ(std::memcmp(mem, expect, nvme::kLbaBytes), 0);
+}
+
+TEST_F(CtrlFixture, ShareTableSharesBuffers) {
+  build();
+  auto* memA = host->gpu().hbm().allocBytes(nvme::kLbaBytes);
+  auto* memB = host->gpu().hbm().allocBytes(nvme::kLbaBytes);
+  bool sharedHit = false;
+  ASSERT_TRUE(host->runKernel(
+      {.gridDim = 1, .blockDim = 2, .name = "share"},
+      [&](gpu::KernelCtx& ctx) -> gpu::GpuTask<void> {
+        AgileLockChain chain;
+        AgileBuf buf(ctx.threadIdx() == 0 ? memA : memB);
+        AgileBufPtr ptr(buf);
+        if (ctx.threadIdx() == 1) {
+          // Let thread 0 win the race and own the entry.
+          co_await gpu::compute(ctx, 2000);
+        }
+        co_await ctrl->asyncRead(ctx, 0, 33, ptr, chain);
+        co_await ctrl->waitBuf(ctx, ptr);
+        if (ctx.threadIdx() == 1) {
+          sharedHit = ptr.isShared();
+          // Thread 1's pointer must reference thread 0's buffer.
+          if (sharedHit) {
+            EXPECT_EQ(ptr.data(), memA);
+            co_await ctrl->releaseBuf(ctx, ptr, chain);
+          }
+        }
+      }));
+  EXPECT_TRUE(sharedHit);
+  EXPECT_EQ(host->ssd(0).readsCompleted(), 1u);  // single fill for two readers
+  EXPECT_EQ(ctrl->shareTable().stats().hits, 1u);
+}
+
+TEST_F(CtrlFixture, ShareDisabledDuplicatesReads) {
+  // Same scenario with NeverSharePolicy: two direct reads (the cache-BUSY
+  // path would coalesce, but direct buffer reads bypass the cache miss).
+  HostConfig cfg;
+  cfg.queuePairsPerSsd = 2;
+  cfg.queueDepth = 64;
+  host = std::make_unique<AgileHost>(cfg);
+  nvme::SsdConfig ssd;
+  ssd.capacityLbas = 65536;
+  host->addNvmeDev(ssd);
+  host->initNvme();
+  AgileCtrl<ClockPolicy, NeverSharePolicy> noshare(
+      *host, CtrlConfig{.cacheLines = 64});
+  host->startAgile();
+
+  auto* memA = host->gpu().hbm().allocBytes(nvme::kLbaBytes);
+  auto* memB = host->gpu().hbm().allocBytes(nvme::kLbaBytes);
+  ASSERT_TRUE(host->runKernel(
+      {.gridDim = 1, .blockDim = 2, .name = "noshare"},
+      [&](gpu::KernelCtx& ctx) -> gpu::GpuTask<void> {
+        AgileLockChain chain;
+        AgileBuf buf(ctx.threadIdx() == 0 ? memA : memB);
+        AgileBufPtr ptr(buf);
+        if (ctx.threadIdx() == 1) co_await gpu::compute(ctx, 2000);
+        co_await noshare.asyncRead(ctx, 0, 33, ptr, chain);
+        co_await noshare.waitBuf(ctx, ptr);
+        EXPECT_FALSE(ptr.isShared());
+      }));
+  EXPECT_EQ(host->ssd(0).readsCompleted(), 2u);
+}
+
+TEST_F(CtrlFixture, ModifiedShareePropagatesOnRelease) {
+  build();
+  auto* memA = host->gpu().hbm().allocBytes(nvme::kLbaBytes);
+  auto* memB = host->gpu().hbm().allocBytes(nvme::kLbaBytes);
+  std::uint64_t reread = 0;
+  ASSERT_TRUE(host->runKernel(
+      {.gridDim = 1, .blockDim = 2, .name = "moesi"},
+      [&](gpu::KernelCtx& ctx) -> gpu::GpuTask<void> {
+        AgileLockChain chain;
+        AgileBuf buf(ctx.threadIdx() == 0 ? memA : memB);
+        AgileBufPtr ptr(buf);
+        if (ctx.threadIdx() == 1) co_await gpu::compute(ctx, 2000);
+        co_await ctrl->asyncRead(ctx, 0, 40, ptr, chain);
+        co_await ctrl->waitBuf(ctx, ptr);
+        if (ctx.threadIdx() == 1) {
+          // Write through the shared pointer; the entry turns Modified.
+          ptr.as<std::uint64_t>()[0] = 0xfeed;
+          ctrl->markBufModified(ptr);
+          co_await ctrl->releaseBuf(ctx, ptr, chain);
+          co_await gpu::compute(ctx, 1000);
+        } else {
+          co_await gpu::compute(ctx, 8000);  // release after thread 1
+          co_await ctrl->releaseOwned(ctx, 0, 40, ptr, chain);
+          // Last release propagated to the software cache: a fresh array
+          // read must observe the new value without an SSD fetch.
+          reread = co_await ctrl->arrayRead<std::uint64_t>(
+              ctx, 0, 40 * 512, chain);
+        }
+      }));
+  EXPECT_EQ(reread, 0xfeedu);
+  EXPECT_EQ(ctrl->shareTable().stats().propagations, 1u);
+}
+
+TEST_F(CtrlFixture, AsyncWritePersistsAndKeepsCacheCoherent) {
+  build();
+  auto* mem = host->gpu().hbm().allocBytes(nvme::kLbaBytes);
+  std::uint64_t cached = 0, direct = 0;
+  ASSERT_TRUE(host->runKernel(
+      {.gridDim = 1, .blockDim = 1, .name = "awrite"},
+      [&](gpu::KernelCtx& ctx) -> gpu::GpuTask<void> {
+        AgileLockChain chain;
+        // Warm the cache with page 50's flash content.
+        (void)co_await ctrl->arrayRead<std::uint64_t>(ctx, 0, 50 * 512, chain);
+        // Write new content through asyncWrite.
+        AgileBuf buf(mem);
+        AgileBufPtr ptr(buf);
+        ptr.as<std::uint64_t>()[0] = 0xbeef;
+        co_await ctrl->asyncWrite(ctx, 0, 50, ptr, chain);
+        // Cache must reflect the write immediately (coherency, §3.4).
+        cached = co_await ctrl->arrayRead<std::uint64_t>(ctx, 0, 50 * 512,
+                                                         chain);
+        co_await ctrl->waitBuf(ctx, ptr);  // write durable
+      }));
+  // Verify flash content directly.
+  std::byte page[nvme::kLbaBytes];
+  ASSERT_TRUE(host->ssd(0).flash().readPage(50, page));
+  std::memcpy(&direct, page, sizeof direct);
+  EXPECT_EQ(cached, 0xbeefu);
+  EXPECT_EQ(direct, 0xbeefu);
+}
+
+TEST_F(CtrlFixture, AsyncReadErrorSurfacesThroughWait) {
+  build();
+  host->ssd(0).injectFault(77);
+  auto* mem = host->gpu().hbm().allocBytes(nvme::kLbaBytes);
+  bool ok = true;
+  ASSERT_TRUE(host->runKernel(
+      {.gridDim = 1, .blockDim = 1, .name = "aerr"},
+      [&](gpu::KernelCtx& ctx) -> gpu::GpuTask<void> {
+        AgileLockChain chain;
+        AgileBuf buf(mem);
+        AgileBufPtr ptr(buf);
+        co_await ctrl->asyncRead(ctx, 0, 77, ptr, chain);
+        ok = co_await ctrl->waitBuf(ctx, ptr);
+      }));
+  EXPECT_FALSE(ok);
+}
+
+TEST_F(CtrlFixture, CoalescedReadBroadcastsValue) {
+  build();
+  bool allMatch = true;
+  ASSERT_TRUE(host->runKernel(
+      {.gridDim = 1, .blockDim = 32, .name = "coread"},
+      [&](gpu::KernelCtx& ctx) -> gpu::GpuTask<void> {
+        AgileLockChain chain;
+        const auto v = co_await ctrl->arrayReadCoalesced<std::uint64_t>(
+            ctx, 0, 6, chain);
+        allMatch &= v == nvme::FlashStore::patternWord(0, 6);
+      }));
+  EXPECT_TRUE(allMatch);
+  EXPECT_EQ(host->ssd(0).readsCompleted(), 1u);
+}
+
+TEST_F(CtrlFixture, ManyThreadsManyPagesComplete) {
+  build(/*cacheLines=*/32, /*qps=*/2, /*depth=*/64);
+  int done = 0;
+  ASSERT_TRUE(host->runKernel(
+      {.gridDim = 4, .blockDim = 64, .name = "storm"},
+      [&](gpu::KernelCtx& ctx) -> gpu::GpuTask<void> {
+        AgileLockChain chain;
+        const auto tid = ctx.globalThreadIdx();
+        std::uint64_t sum = 0;
+        for (int i = 0; i < 4; ++i) {
+          sum += co_await ctrl->arrayRead<std::uint64_t>(
+              ctx, 0, (tid * 7 + i * 131) % 4096, chain);
+        }
+        (void)sum;
+        ++done;
+      }));
+  EXPECT_EQ(done, 256);
+  EXPECT_EQ(host->pendingTransactions(), 0u);
+}
+
+TEST_F(CtrlFixture, MultiSsdInterleaving) {
+  build(/*cacheLines=*/64, /*qps=*/2, /*depth=*/64, /*ssds=*/3);
+  bool ok = true;
+  ASSERT_TRUE(host->runKernel(
+      {.gridDim = 1, .blockDim = 96, .name = "multidev"},
+      [&](gpu::KernelCtx& ctx) -> gpu::GpuTask<void> {
+        AgileLockChain chain;
+        const std::uint32_t dev = ctx.globalThreadIdx() % 3;
+        const std::uint64_t page = ctx.globalThreadIdx() / 3 + 1;
+        const auto v = co_await ctrl->arrayRead<std::uint64_t>(
+            ctx, dev, page * 512, chain);
+        ok &= v == nvme::FlashStore::patternWord(page, 0);
+      }));
+  EXPECT_TRUE(ok);
+  for (std::uint32_t d = 0; d < 3; ++d) {
+    EXPECT_GT(host->ssd(d).readsCompleted(), 0u) << "ssd " << d;
+  }
+}
+
+}  // namespace
+}  // namespace agile::core

@@ -1,0 +1,209 @@
+// Tests for AgileLock, the lock-chain deadlock detector (§3.5), and the
+// transaction barrier.
+#include <gtest/gtest.h>
+
+#include "core/barrier.h"
+#include "core/lock.h"
+#include "gpu/exec.h"
+#include "sim/engine.h"
+
+namespace agile::core {
+namespace {
+
+struct LockFixture : ::testing::Test {
+  sim::Engine eng;
+  gpu::Gpu gpu{eng, gpu::GpuConfig{}};
+
+  // Run a single-thread kernel to completion.
+  bool run1(gpu::KernelFn fn, SimTime timeout = 100_ms) {
+    auto k = gpu.launch({.gridDim = 1, .blockDim = 1, .name = "t"}, fn);
+    return gpu.wait(k, timeout);
+  }
+};
+
+TEST_F(LockFixture, TryAcquireRelease) {
+  AgileLock lock("L");
+  bool acquired = false;
+  ASSERT_TRUE(run1([&](gpu::KernelCtx& ctx) -> gpu::GpuTask<void> {
+    AgileLockChain chain;
+    acquired = lock.tryAcquire(ctx, chain);
+    EXPECT_TRUE(lock.held());
+    lock.release(ctx, chain);
+    EXPECT_FALSE(lock.held());
+    co_return;
+  }));
+  EXPECT_TRUE(acquired);
+}
+
+TEST_F(LockFixture, SecondAcquireFails) {
+  AgileLock lock("L");
+  bool first = false, second = true;
+  ASSERT_TRUE(run1([&](gpu::KernelCtx& ctx) -> gpu::GpuTask<void> {
+    AgileLockChain chain;
+    first = lock.tryAcquire(ctx, chain);
+    AgileLockChain other;
+    second = lock.tryAcquire(ctx, other);
+    lock.release(ctx, chain);
+    co_return;
+  }));
+  EXPECT_TRUE(first);
+  EXPECT_FALSE(second);
+}
+
+TEST_F(LockFixture, AcquireCoroutineWaitsForRelease) {
+  AgileLock lock("L");
+  std::vector<int> order;
+  auto k = gpu.launch(
+      {.gridDim = 1, .blockDim = 2, .name = "two"},
+      [&](gpu::KernelCtx& ctx) -> gpu::GpuTask<void> {
+        AgileLockChain chain;
+        if (ctx.threadIdx() == 0) {
+          co_await acquire(ctx, lock, chain);
+          order.push_back(0);
+          co_await gpu::compute(ctx, 5000);  // hold across an await
+          lock.release(ctx, chain);
+        } else {
+          co_await gpu::compute(ctx, 100);  // let thread 0 win
+          co_await acquire(ctx, lock, chain);
+          order.push_back(1);
+          lock.release(ctx, chain);
+        }
+      });
+  ASSERT_TRUE(gpu.wait(k, 100_ms));
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+}
+
+TEST_F(LockFixture, ChainTracksHeldLocks) {
+  AgileLock a("A"), b("B");
+  ASSERT_TRUE(run1([&](gpu::KernelCtx& ctx) -> gpu::GpuTask<void> {
+    AgileLockChain chain(true);
+    EXPECT_TRUE(a.tryAcquire(ctx, chain));
+    EXPECT_TRUE(b.tryAcquire(ctx, chain));
+    EXPECT_EQ(chain.held().size(), 2u);
+    b.release(ctx, chain);
+    EXPECT_EQ(chain.held().size(), 1u);
+    a.release(ctx, chain);
+    EXPECT_TRUE(chain.held().empty());
+    co_return;
+  }));
+}
+
+TEST_F(LockFixture, DetectsAbDeadlock) {
+  // Classic AB/BA circular wait, driven in one thread through two chains
+  // standing in for two GPU threads.
+  AgileLock a("A"), b("B");
+  bool reported = false;
+  ASSERT_TRUE(run1([&](gpu::KernelCtx& ctx) -> gpu::GpuTask<void> {
+    AgileLockChain t1(true), t2(true);
+    EXPECT_TRUE(a.tryAcquire(ctx, t1));   // T1 holds A
+    EXPECT_TRUE(b.tryAcquire(ctx, t2));   // T2 holds B
+    EXPECT_FALSE(b.tryAcquire(ctx, t1));  // T1 blocked on B (A dep-> B)
+    EXPECT_FALSE(a.tryAcquire(ctx, t2));  // T2 blocked on A: cycle!
+    reported = t2.deadlockReported();
+    co_return;
+  }));
+  EXPECT_TRUE(reported);
+}
+
+TEST_F(LockFixture, NoFalsePositiveOnSimpleContention) {
+  AgileLock a("A");
+  bool reported = true;
+  ASSERT_TRUE(run1([&](gpu::KernelCtx& ctx) -> gpu::GpuTask<void> {
+    AgileLockChain t1(true), t2(true);
+    EXPECT_TRUE(a.tryAcquire(ctx, t1));
+    EXPECT_FALSE(a.tryAcquire(ctx, t2));  // contention, no cycle
+    reported = t2.deadlockReported();
+    co_return;
+  }));
+  EXPECT_FALSE(reported);
+}
+
+TEST_F(LockFixture, DetectsThreeWayCycle) {
+  AgileLock a("A"), b("B"), c("C");
+  bool reported = false;
+  ASSERT_TRUE(run1([&](gpu::KernelCtx& ctx) -> gpu::GpuTask<void> {
+    AgileLockChain t1(true), t2(true), t3(true);
+    EXPECT_TRUE(a.tryAcquire(ctx, t1));
+    EXPECT_TRUE(b.tryAcquire(ctx, t2));
+    EXPECT_TRUE(c.tryAcquire(ctx, t3));
+    EXPECT_FALSE(b.tryAcquire(ctx, t1));  // A -> B
+    EXPECT_FALSE(c.tryAcquire(ctx, t2));  // B -> C
+    EXPECT_FALSE(a.tryAcquire(ctx, t3));  // C -> A: cycle
+    reported = t3.deadlockReported();
+    co_return;
+  }));
+  EXPECT_TRUE(reported);
+}
+
+TEST_F(LockFixture, ReleaseClearsDependencies) {
+  AgileLock a("A"), b("B");
+  bool reported = false;
+  ASSERT_TRUE(run1([&](gpu::KernelCtx& ctx) -> gpu::GpuTask<void> {
+    AgileLockChain t1(true), t2(true);
+    EXPECT_TRUE(a.tryAcquire(ctx, t1));
+    EXPECT_FALSE(a.tryAcquire(ctx, t2));  // records dep
+    a.release(ctx, t1);                   // clears deps
+    EXPECT_TRUE(a.tryAcquire(ctx, t2));
+    EXPECT_TRUE(b.tryAcquire(ctx, t1));
+    EXPECT_FALSE(b.tryAcquire(ctx, t2));
+    reported = t2.deadlockReported();  // A(no deps) while blocked on B: fine
+    co_return;
+  }));
+  EXPECT_FALSE(reported);
+}
+
+TEST_F(LockFixture, BarrierCompletesAndWakes) {
+  AgileTxBarrier barrier;
+  bool ok = false;
+  auto k = gpu.launch({.gridDim = 1, .blockDim = 1, .name = "bw"},
+                      [&](gpu::KernelCtx& ctx) -> gpu::GpuTask<void> {
+                        barrier.addPending();
+                        ok = co_await barrierWait(ctx, barrier);
+                      });
+  eng.scheduleAt(50000, [&] { barrier.complete(eng, nvme::Status::kSuccess); });
+  ASSERT_TRUE(gpu.wait(k, 100_ms));
+  EXPECT_TRUE(ok);
+  EXPECT_GE(eng.now(), 50000);
+}
+
+TEST_F(LockFixture, BarrierPropagatesError) {
+  AgileTxBarrier barrier;
+  bool ok = true;
+  auto k = gpu.launch({.gridDim = 1, .blockDim = 1, .name = "be"},
+                      [&](gpu::KernelCtx& ctx) -> gpu::GpuTask<void> {
+                        barrier.addPending();
+                        barrier.addPending();
+                        ok = co_await barrierWait(ctx, barrier);
+                      });
+  eng.scheduleAt(10, [&] {
+    barrier.complete(eng, nvme::Status::kSuccess);
+  });
+  eng.scheduleAt(20, [&] {
+    barrier.complete(eng, nvme::Status::kUnrecoveredReadError);
+  });
+  ASSERT_TRUE(gpu.wait(k, 100_ms));
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(barrier.lastStatus(), nvme::Status::kUnrecoveredReadError);
+}
+
+TEST_F(LockFixture, BarrierReadyIsImmediate) {
+  AgileTxBarrier barrier;
+  bool ok = false;
+  ASSERT_TRUE(run1([&](gpu::KernelCtx& ctx) -> gpu::GpuTask<void> {
+    ok = co_await barrierWait(ctx, barrier);  // nothing pending
+  }));
+  EXPECT_TRUE(ok);
+}
+
+TEST_F(LockFixture, BarrierReset) {
+  AgileTxBarrier barrier;
+  barrier.addPending();
+  barrier.complete(eng, nvme::Status::kWriteFault);
+  EXPECT_TRUE(barrier.failed());
+  barrier.reset();
+  EXPECT_FALSE(barrier.failed());
+  EXPECT_TRUE(barrier.ready());
+}
+
+}  // namespace
+}  // namespace agile::core

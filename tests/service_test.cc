@@ -1,0 +1,154 @@
+// Tests for the AGILE service (Algorithm 1): warp-centric window semantics,
+// CQ doorbell cadence, phase-bit survival across ring laps, multi-warp CQ
+// partitioning, and lifecycle.
+#include <gtest/gtest.h>
+
+#include "core/ctrl.h"
+#include "core/host.h"
+
+namespace agile::core {
+namespace {
+
+struct ServiceFixture : ::testing::Test {
+  std::unique_ptr<AgileHost> host;
+
+  void build(std::uint32_t qps, std::uint32_t depth,
+             std::uint32_t serviceWarps = 2) {
+    HostConfig cfg;
+    cfg.queuePairsPerSsd = qps;
+    cfg.queueDepth = depth;
+    cfg.service.warps = serviceWarps;
+    host = std::make_unique<AgileHost>(cfg);
+    nvme::SsdConfig ssd;
+    ssd.capacityLbas = 1u << 16;
+    host->addNvmeDev(ssd);
+    host->initNvme();
+    host->startAgile();
+  }
+
+  void TearDown() override {
+    if (host && host->serviceRunning()) host->stopAgile();
+  }
+
+  // Let the service run a few poll rounds past the last app kernel (window
+  // advance and CQ doorbells happen on the round after the final
+  // completion is consumed).
+  void settle() { host->engine().runFor(host->engine().now() + 500_us); }
+
+  // Issue `n` reads from `threads` GPU threads and wait for all of them.
+  void traffic(std::uint32_t n) {
+    auto* mem = host->gpu().hbm().allocBytes(nvme::kLbaBytes);
+    const bool ok = host->runKernel(
+        {.gridDim = std::max(1u, n / 64), .blockDim = std::min(n, 64u),
+         .name = "traffic"},
+        [&, n](gpu::KernelCtx& ctx) -> gpu::GpuTask<void> {
+          AgileLockChain chain;
+          if (ctx.globalThreadIdx() >= n) co_return;
+          AgileBuf tmp(mem);
+          nvme::Sqe cmd;
+          cmd.opcode = static_cast<std::uint8_t>(nvme::Opcode::kRead);
+          cmd.slba = ctx.globalThreadIdx() % 512;
+          cmd.prp1 = host->gpu().hbm().physAddr(mem);
+          Transaction txn;
+          txn.kind = TxnKind::kBufRead;
+          txn.buf = &tmp;
+          tmp.barrier().addPending();
+          const std::uint32_t qp =
+              ctx.globalThreadIdx() % host->queuePairs().count();
+          co_await issueCommand(ctx, *host->queuePairs().sqs[qp], cmd, txn,
+                                chain);
+          co_await barrierWait(ctx, tmp.barrier());
+        });
+    ASSERT_TRUE(ok);
+  }
+};
+
+TEST_F(ServiceFixture, ProcessesAllCompletions) {
+  build(2, 64);
+  traffic(256);
+  EXPECT_EQ(host->service().stats().completions, 256u);
+  EXPECT_EQ(host->pendingTransactions(), 0u);
+}
+
+TEST_F(ServiceFixture, WindowsAdvanceOnlyWhenFull) {
+  build(1, 64);  // window = 32
+  // 16 completions: fewer than one window — resources released but the
+  // window must NOT advance (and no CQ doorbell written).
+  traffic(16);
+  settle();
+  EXPECT_EQ(host->service().stats().completions, 16u);
+  EXPECT_EQ(host->service().stats().windowsAdvanced, 0u);
+  EXPECT_EQ(host->queuePairs().cqs[0]->mask, 0xFFFFu);
+  // 16 more fill the window: it advances and the doorbell is rung.
+  traffic(16);
+  settle();
+  EXPECT_EQ(host->service().stats().windowsAdvanced, 1u);
+  EXPECT_GE(host->service().stats().cqDoorbells, 1u);
+  EXPECT_EQ(host->queuePairs().cqs[0]->offset, 32u);
+  EXPECT_EQ(host->queuePairs().cqs[0]->mask, 0u);
+}
+
+TEST_F(ServiceFixture, PhaseFlipsAcrossLaps) {
+  build(1, 64);
+  AgileCq& cq = *host->queuePairs().cqs[0];
+  EXPECT_TRUE(cq.phase);
+  traffic(64);  // exactly one CQ lap
+  settle();
+  EXPECT_EQ(cq.offset, 0u);
+  EXPECT_FALSE(cq.phase);  // lap completed, phase flipped
+  traffic(64);  // second lap
+  settle();
+  EXPECT_TRUE(cq.phase);
+  EXPECT_EQ(host->service().stats().completions, 128u);
+}
+
+TEST_F(ServiceFixture, ManyLapsNoLostCompletions) {
+  build(2, 32);  // window = 16
+  for (int round = 0; round < 5; ++round) traffic(128);
+  EXPECT_EQ(host->service().stats().completions, 640u);
+  EXPECT_EQ(host->pendingTransactions(), 0u);
+}
+
+TEST_F(ServiceFixture, WarpsPartitionCqs) {
+  build(4, 64, /*serviceWarps=*/2);
+  traffic(256);
+  // All four CQs drained even though each service warp owns only half.
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(host->queuePairs().sqs[i]->inFlight(), 0u) << i;
+  }
+  EXPECT_EQ(host->service().stats().completions, 256u);
+}
+
+TEST_F(ServiceFixture, SingleWarpHandlesEverything) {
+  build(4, 64, /*serviceWarps=*/1);
+  traffic(256);
+  EXPECT_EQ(host->service().stats().completions, 256u);
+}
+
+TEST_F(ServiceFixture, IdleServiceSkipsQuietQueues) {
+  build(4, 64);
+  // Let the service spin a while with zero traffic: the fast-skip path must
+  // keep full window polls (pollRounds) near zero.
+  host->engine().runFor(host->engine().now() + 2_ms);
+  EXPECT_EQ(host->service().stats().completions, 0u);
+  EXPECT_LE(host->service().stats().pollRounds, 8u);
+}
+
+TEST_F(ServiceFixture, StopQuiescesPromptly) {
+  build(2, 64);
+  traffic(64);
+  host->stopAgile();
+  EXPECT_FALSE(host->serviceRunning());
+  // Restarting works.
+  host->startAgile();
+  traffic(64);
+  EXPECT_EQ(host->service().stats().completions, 64u);
+}
+
+TEST_F(ServiceFixture, ServiceRegistersMatchPaper) {
+  build(1, 64);
+  EXPECT_EQ(host->service().launchConfig(false).regsPerThread, 37u);
+}
+
+}  // namespace
+}  // namespace agile::core

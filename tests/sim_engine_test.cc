@@ -1,0 +1,181 @@
+// Unit tests for the DES engine, wait lists, token bucket, and sweep runner.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "sim/engine.h"
+#include "sim/sweep.h"
+#include "sim/token_bucket.h"
+
+namespace agile::sim {
+namespace {
+
+TEST(EngineTest, EventsFireInTimeOrder) {
+  Engine eng;
+  std::vector<int> order;
+  eng.scheduleAt(30, [&] { order.push_back(3); });
+  eng.scheduleAt(10, [&] { order.push_back(1); });
+  eng.scheduleAt(20, [&] { order.push_back(2); });
+  eng.runToCompletion();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(eng.now(), 30);
+}
+
+TEST(EngineTest, TiesBreakInScheduleOrder) {
+  Engine eng;
+  std::vector<int> order;
+  for (int i = 0; i < 8; ++i) {
+    eng.scheduleAt(5, [&order, i] { order.push_back(i); });
+  }
+  eng.runToCompletion();
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EngineTest, NestedScheduling) {
+  Engine eng;
+  int fired = 0;
+  eng.scheduleAt(1, [&] {
+    eng.scheduleAfter(5, [&] { fired = 2; });
+    fired = 1;
+  });
+  eng.runToCompletion();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(eng.now(), 6);
+}
+
+TEST(EngineTest, RunUntilStopsEarly) {
+  Engine eng;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i) {
+    eng.scheduleAt(i, [&] { ++count; });
+  }
+  bool ok = eng.runUntil([&] { return count == 4; });
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(count, 4);
+  EXPECT_EQ(eng.now(), 4);
+}
+
+TEST(EngineTest, RunUntilReturnsFalseOnDrain) {
+  Engine eng;
+  eng.scheduleAt(1, [] {});
+  bool ok = eng.runUntil([] { return false; });
+  EXPECT_FALSE(ok);
+}
+
+TEST(EngineTest, RunForLeavesLaterEventsQueued) {
+  Engine eng;
+  int fired = 0;
+  eng.scheduleAt(10, [&] { ++fired; });
+  eng.scheduleAt(100, [&] { ++fired; });
+  eng.runFor(50);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(eng.now(), 50);
+  EXPECT_EQ(eng.pendingEvents(), 1u);
+  eng.runToCompletion();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EngineTest, ExecutedEventCount) {
+  Engine eng;
+  for (int i = 0; i < 5; ++i) eng.scheduleAt(i + 1, [] {});
+  eng.runToCompletion();
+  EXPECT_EQ(eng.executedEvents(), 5u);
+}
+
+TEST(WaitListTest, NotifyAllWakesEveryone) {
+  Engine eng;
+  WaitList wl;
+  int woken = 0;
+  eng.scheduleAt(1, [&] {
+    wl.park([&] { ++woken; });
+    wl.park([&] { ++woken; });
+    wl.park([&] { ++woken; });
+  });
+  eng.scheduleAt(2, [&] { wl.notifyAll(eng); });
+  eng.runToCompletion();
+  EXPECT_EQ(woken, 3);
+  EXPECT_TRUE(wl.empty());
+}
+
+TEST(WaitListTest, NotifyOneIsFifo) {
+  Engine eng;
+  WaitList wl;
+  std::vector<int> order;
+  eng.scheduleAt(1, [&] {
+    wl.park([&] { order.push_back(1); });
+    wl.park([&] { order.push_back(2); });
+  });
+  eng.scheduleAt(2, [&] { wl.notifyOne(eng); });
+  eng.runToCompletion();
+  EXPECT_EQ(order, (std::vector<int>{1}));
+  EXPECT_EQ(wl.size(), 1u);
+}
+
+TEST(WaitListTest, NotifyEmptyIsNoop) {
+  Engine eng;
+  WaitList wl;
+  wl.notifyAll(eng);
+  wl.notifyOne(eng);
+  eng.runToCompletion();
+  EXPECT_TRUE(wl.empty());
+}
+
+TEST(TokenBucketTest, BurstCompletesImmediately) {
+  TokenBucket tb(1000.0, 16.0);  // 1000 units/s, burst 16
+  EXPECT_EQ(tb.reserve(0, 1.0), 0);
+  EXPECT_EQ(tb.reserve(0, 1.0), 0);
+}
+
+TEST(TokenBucketTest, SteadyStateRate) {
+  TokenBucket tb(1000.0, 1.0);  // 1 unit per ms
+  SimTime last = 0;
+  for (int i = 0; i < 100; ++i) {
+    last = tb.reserve(0, 1.0);
+  }
+  // 100 units at 1000/s from an empty start: the 100th completes near 99 ms.
+  EXPECT_NEAR(static_cast<double>(last), 99e6, 5e6);
+}
+
+TEST(TokenBucketTest, IdleRefill) {
+  TokenBucket tb(1000.0, 4.0);
+  // Drain the burst.
+  for (int i = 0; i < 4; ++i) tb.reserve(0, 1.0);
+  // After a long idle period, capacity is available again immediately.
+  EXPECT_EQ(tb.reserve(1'000'000'000, 1.0), 1'000'000'000);
+}
+
+TEST(TokenBucketTest, RateChange) {
+  TokenBucket tb(1000.0, 1.0);
+  tb.setRate(2000.0);
+  EXPECT_DOUBLE_EQ(tb.ratePerSec(), 2000.0);
+}
+
+TEST(TokenBucketTest, ThroughputMatchesRate) {
+  // Reserving N units one at a time must take ~N/rate seconds overall.
+  TokenBucket tb(1e6, 8.0);
+  SimTime last = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) last = tb.reserve(0, 1.0);
+  const double seconds = static_cast<double>(last) / 1e9;
+  EXPECT_NEAR(seconds, n / 1e6, 0.01 * n / 1e6 + 1e-5);
+}
+
+TEST(SweepTest, RunsAllIndices) {
+  std::vector<std::atomic<int>> hits(64);
+  parallelFor(64, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(SweepTest, ZeroIsNoop) {
+  parallelFor(0, [&](std::size_t) { FAIL(); });
+}
+
+TEST(SweepTest, SingleThreadFallback) {
+  std::vector<int> hits(5, 0);
+  parallelFor(5, [&](std::size_t i) { hits[i] = 1; }, 1);
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+}  // namespace
+}  // namespace agile::sim
