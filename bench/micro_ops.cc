@@ -38,6 +38,60 @@ void BM_EngineThroughput1k(benchmark::State& state) {
 }
 BENCHMARK(BM_EngineThroughput1k);
 
+// The scheduleAfter(0, ...) wake path: ready-queue push + pop, no heap.
+void BM_EngineZeroDelay(benchmark::State& state) {
+  sim::Engine eng;
+  std::uint64_t fired = 0;
+  for (auto _ : state) {
+    eng.scheduleAfter(0, [&] { ++fired; });
+    eng.runToCompletion();
+  }
+  benchmark::DoNotOptimize(fired);
+}
+BENCHMARK(BM_EngineZeroDelay);
+
+// Intrusive park + notifyOne + fire round trip (the lane I/O-stall path).
+void BM_WaitListIntrusiveRoundtrip(benchmark::State& state) {
+  struct Node : sim::WaitNode {
+    std::uint64_t fired = 0;
+  };
+  sim::Engine eng;
+  Node node;  // must outlive the WaitList (parked storage)
+  sim::WaitList wl;
+  node.fire = [](sim::WaitNode* n) { ++static_cast<Node*>(n)->fired; };
+  for (auto _ : state) {
+    wl.park(node);
+    wl.notifyOne(eng);
+    eng.runToCompletion();
+  }
+  benchmark::DoNotOptimize(node.fired);
+}
+BENCHMARK(BM_WaitListIntrusiveRoundtrip);
+
+// notifyOne against a deep FIFO: O(1) head pop regardless of depth.
+void BM_WaitListNotifyOneDeep(benchmark::State& state) {
+  struct Node : sim::WaitNode {
+    sim::WaitList* wl;
+  };
+  sim::Engine eng;
+  std::vector<Node> nodes(1024);  // must outlive the WaitList (parked storage)
+  sim::WaitList wl;
+  for (auto& n : nodes) {
+    n.wl = &wl;
+    n.fire = [](sim::WaitNode* w) {
+      auto* s = static_cast<Node*>(w);
+      s->wl->park(*s);  // rotate back to the tail
+    };
+    wl.park(n);
+  }
+  for (auto _ : state) {
+    wl.notifyOne(eng);
+    eng.runToCompletion();
+  }
+  benchmark::DoNotOptimize(wl.size());
+}
+BENCHMARK(BM_WaitListNotifyOneDeep);
+
 void BM_RngNext(benchmark::State& state) {
   Rng rng(1);
   for (auto _ : state) benchmark::DoNotOptimize(rng.next());

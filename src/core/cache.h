@@ -67,6 +67,29 @@ struct CacheLine {
   // Cache-wide list of threads stalled because every victim candidate was
   // BUSY (§3.4 case (d) under thrash); any line leaving BUSY admits one.
   sim::WaitList* stallWaiters = nullptr;
+  // Cache-wide count of BUSY lines, maintained on every BUSY transition so
+  // SoftwareCache::busyLines() is O(1) (benches poll it inside loops).
+  std::uint32_t* busyCounter = nullptr;
+
+  // All BUSY transitions must go through these two helpers: they write the
+  // state and the counter together, so busyLines() cannot drift from a scan
+  // of the line states.
+  void setBusy(bool evict) {
+    AGILE_DCHECK(state != LineState::kBusy);
+    state = LineState::kBusy;
+    evicting = evict;
+    if (busyCounter != nullptr) ++*busyCounter;
+  }
+  void clearBusy(LineState to) {
+    AGILE_DCHECK(state == LineState::kBusy);
+    AGILE_DCHECK(to != LineState::kBusy);
+    state = to;
+    evicting = false;
+    if (busyCounter != nullptr) {
+      AGILE_DCHECK(*busyCounter > 0);
+      --*busyCounter;
+    }
+  }
 
   void appendBufWaiter(AgileBuf& buf) {
     buf.nextWaiter = bufWaitHead;
@@ -91,8 +114,8 @@ struct CacheLine {
       w->barrier().complete(engine, status);
       w = next;
     }
-    state = status == nvme::Status::kSuccess ? LineState::kReady
-                                             : LineState::kInvalid;
+    clearBusy(status == nvme::Status::kSuccess ? LineState::kReady
+                                               : LineState::kInvalid);
     readyWaiters.notifyAll(engine);
     if (state == LineState::kInvalid) freedWaiters.notifyAll(engine);
     if (stallWaiters != nullptr) stallWaiters->notifyOne(engine);
@@ -101,11 +124,10 @@ struct CacheLine {
   // Writeback completion: the line becomes reclaimable.
   void onWritebackComplete(sim::Engine& engine, nvme::Status status) {
     AGILE_CHECK(state == LineState::kBusy && evicting);
-    evicting = false;
     // On a write fault the data is still only in HBM; keep it MODIFIED so a
     // later eviction retries the writeback rather than losing the page.
-    state = status == nvme::Status::kSuccess ? LineState::kInvalid
-                                             : LineState::kModified;
+    clearBusy(status == nvme::Status::kSuccess ? LineState::kInvalid
+                                               : LineState::kModified);
     freedWaiters.notifyAll(engine);
     readyWaiters.notifyAll(engine);
     if (stallWaiters != nullptr) stallWaiters->notifyOne(engine);
@@ -329,6 +351,7 @@ class SoftwareCache {
     for (std::uint32_t i = 0; i < lineCount; ++i) {
       lines_[i].data = slab_ + static_cast<std::uint64_t>(i) * nvme::kLbaBytes;
       lines_[i].stallWaiters = &stallWaiters_;
+      lines_[i].busyCounter = &busyCount_;
       // Popped back-to-front so frames fill in index order.
       freshLines_.push_back(lineCount - 1 - i);
     }
@@ -389,8 +412,7 @@ class SoftwareCache {
       // mapped (and BUSY) until the data lands on the SSD so concurrent
       // readers of the old tag cannot observe stale flash content.
       ctx.chargeSerialized(costs_.evict);
-      vic.state = LineState::kBusy;
-      vic.evicting = true;
+      vic.setBusy(/*evict=*/true);
       ++stats_.writebacks;
       return {ProbeOutcome::kNeedWriteback, v};
     }
@@ -408,8 +430,7 @@ class SoftwareCache {
     // Claim for the new tag.
     ctx.chargeSerialized(costs_.insert);
     vic.tag = tag;
-    vic.state = LineState::kBusy;
-    vic.evicting = false;
+    vic.setBusy(/*evict=*/false);
     map_[tag] = v;
     policy_.onFill(v);
     return {ProbeOutcome::kClaimed, v};
@@ -459,8 +480,13 @@ class SoftwareCache {
   // timed backoff: any completion that frees a line admits one claimant).
   sim::WaitList& stallWaiters() { return stallWaiters_; }
 
-  // Number of lines currently BUSY (used by tests/benches).
-  std::uint32_t busyLines() const {
+  // Number of lines currently BUSY (used by tests/benches, possibly inside
+  // tight loops). O(1): maintained on the BUSY transitions.
+  std::uint32_t busyLines() const { return busyCount_; }
+
+  // O(n) reference count over line states; tests assert it always matches
+  // the maintained counter.
+  std::uint32_t busyLinesSlow() const {
     std::uint32_t n = 0;
     for (const auto& l : lines_) n += l.state == LineState::kBusy;
     return n;
@@ -473,6 +499,7 @@ class SoftwareCache {
   CacheCosts costs_;
   std::vector<CacheLine> lines_;
   std::vector<std::uint32_t> freshLines_;
+  std::uint32_t busyCount_ = 0;
   sim::WaitList stallWaiters_;
   std::unordered_map<std::uint64_t, std::uint32_t> map_;
   std::byte* slab_ = nullptr;

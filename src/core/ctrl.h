@@ -465,7 +465,7 @@ class AgileCtrl {
           CacheLine& l = cache_.line(r.line);
           ctx.charge(cache_.costs().lineCopy);
           std::memcpy(l.data, buf.data(), nvme::kLbaBytes);
-          l.state = LineState::kModified;
+          l.clearBusy(LineState::kModified);
           l.readyWaiters.notifyAll(ctx.engine());
           co_return;
         }

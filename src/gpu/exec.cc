@@ -7,7 +7,12 @@ namespace agile::gpu {
 // ---------------------------------------------------------------- Lane ----
 
 Lane::Lane(Warp& warp, std::uint32_t laneId, std::uint32_t threadIdx)
-    : warp_(&warp), laneId_(laneId), threadIdx_(threadIdx) {}
+    : warp_(&warp), laneId_(laneId), threadIdx_(threadIdx) {
+  parkNode_.lane = this;
+  parkNode_.fire = [](sim::WaitNode* n) {
+    static_cast<ParkNode*>(n)->lane->wake();
+  };
+}
 
 Lane::~Lane() = default;
 
@@ -65,7 +70,7 @@ void Lane::suspendSleep(std::coroutine_handle<> h, SimTime delay) {
 void Lane::suspendPark(std::coroutine_handle<> h, sim::WaitList& list) {
   resumePoint_ = h;
   state_ = LaneState::kParked;
-  list.park([this] { wake(); });
+  list.park(parkNode_);
 }
 
 void Lane::suspendCollective(std::coroutine_handle<> h, std::uint64_t value) {

@@ -136,9 +136,17 @@ class Lane {
  private:
   friend class Warp;
 
+  // Embedded intrusive waiter: parking on a sim::WaitList is an O(1) pointer
+  // splice with no allocation. A lane is parked on at most one list at a
+  // time (it suspends on exactly one awaitable), so one node suffices.
+  struct ParkNode : sim::WaitNode {
+    Lane* lane = nullptr;
+  };
+
   Warp* warp_;
   std::uint32_t laneId_;     // lane index within the warp [0, 32)
   std::uint32_t threadIdx_;  // thread index within the block
+  ParkNode parkNode_;
   LaneState state_ = LaneState::kReady;
   SimTime pendingCharge_ = 0;
   std::coroutine_handle<> resumePoint_;

@@ -1,23 +1,43 @@
 #include "sim/engine.h"
 
-#include <utility>
+#include <algorithm>
 
 namespace agile::sim {
 
-void Engine::scheduleAt(SimTime t, std::function<void()> fn) {
-  AGILE_CHECK_MSG(t >= now_, "cannot schedule event in the virtual past");
-  events_.push(Event{t, nextSeq_++, std::move(fn)});
+Engine::~Engine() {
+  // Destroy never-fired callbacks (they may own resources). Node memory
+  // itself belongs to the slabs.
+  for (EventNode* n = readyHead_; n != nullptr; n = n->next) {
+    n->op(this, n, /*run=*/false);
+  }
+  for (const HeapEntry& e : heap_) {
+    e.node->op(this, e.node, /*run=*/false);
+  }
 }
 
 bool Engine::step() {
-  if (events_.empty()) return false;
-  // priority_queue::top returns const&; the event is copied out so the
-  // callback may schedule new events (mutating the heap) while running.
-  Event ev = std::move(const_cast<Event&>(events_.top()));
-  events_.pop();
-  now_ = ev.time;
+  EventNode* n;
+  // Merge the ready queue (all at now_, FIFO == seq order) against the heap
+  // top on (time, seq) so execution order is identical to a single global
+  // heap. The heap can only tie the ready head on time, never beat it:
+  // nothing schedules in the past.
+  if (readyHead_ != nullptr &&
+      (heap_.empty() || heap_.front().time > now_ ||
+       heap_.front().seq > readyHead_->seq)) {
+    n = readyHead_;
+    readyHead_ = n->next;
+    if (readyHead_ == nullptr) readyTail_ = nullptr;
+    --readyCount_;
+  } else if (!heap_.empty()) {
+    n = heap_.front().node;
+    now_ = heap_.front().time;
+    std::pop_heap(heap_.begin(), heap_.end(), HeapLater{});
+    heap_.pop_back();
+  } else {
+    return false;
+  }
   ++executed_;
-  ev.fn();
+  n->op(this, n, /*run=*/true);
   return true;
 }
 
@@ -34,26 +54,72 @@ void Engine::runToCompletion() {
 }
 
 void Engine::runFor(SimTime deadline) {
-  while (!events_.empty() && events_.top().time <= deadline) {
+  // Ready events fire at now_; they are eligible whenever now_ <= deadline.
+  while ((readyHead_ != nullptr && now_ <= deadline) ||
+         (!heap_.empty() && heap_.front().time <= deadline)) {
     step();
   }
   if (now_ < deadline) now_ = deadline;
 }
 
+WaitList::~WaitList() {
+  WaitNode* n = head_;
+  while (n != nullptr) {
+    WaitNode* next = n->next;
+    if (n->drop != nullptr) n->drop(n);
+    n = next;
+  }
+}
+
+WaitNode* WaitList::popFront() {
+  WaitNode* n = head_;
+  if (n == nullptr) return nullptr;
+  head_ = n->next;
+  if (head_ == nullptr) tail_ = nullptr;
+  n->next = nullptr;
+  --size_;
+  return n;
+}
+
+namespace {
+
+// The scheduled wake for a notified waiter. Fires the node when the event
+// runs; if the engine is torn down with the wake still queued (the node is
+// out of the WaitList by then, so its drop hook would otherwise never run),
+// the destructor falls back to drop so callable waiters don't leak.
+struct NotifyEvent {
+  WaitNode* n;
+
+  explicit NotifyEvent(WaitNode* node) : n(node) {}
+  NotifyEvent(NotifyEvent&& o) noexcept : n(std::exchange(o.n, nullptr)) {}
+  NotifyEvent(const NotifyEvent&) = delete;
+  NotifyEvent& operator=(const NotifyEvent&) = delete;
+  NotifyEvent& operator=(NotifyEvent&&) = delete;
+  ~NotifyEvent() {
+    if (n != nullptr && n->drop != nullptr) n->drop(n);
+  }
+
+  void operator()() {
+    WaitNode* node = std::exchange(n, nullptr);
+    node->fire(node);
+  }
+};
+
+}  // namespace
+
 void WaitList::notifyAll(Engine& engine) {
-  if (waiters_.empty()) return;
-  auto woken = std::move(waiters_);
-  waiters_.clear();
-  for (auto& w : woken) {
-    engine.scheduleAfter(0, std::move(w));
+  // One ready-queue event per waiter, scheduled in park order, so waiters
+  // interleave with other same-timestamp events exactly as they would have
+  // when each carried its own heap entry.
+  while (WaitNode* n = popFront()) {
+    engine.scheduleNow(NotifyEvent(n));
   }
 }
 
 void WaitList::notifyOne(Engine& engine) {
-  if (waiters_.empty()) return;
-  auto w = std::move(waiters_.front());
-  waiters_.erase(waiters_.begin());
-  engine.scheduleAfter(0, std::move(w));
+  if (WaitNode* n = popFront()) {
+    engine.scheduleNow(NotifyEvent(n));
+  }
 }
 
 }  // namespace agile::sim

@@ -1,16 +1,38 @@
-// Discrete-event simulation engine: a virtual nanosecond clock and an event
-// heap. Everything timed in the repository (SM warp segments, NVMe command
-// completions, doorbell fetch delays, service polling) is an event here.
+// Discrete-event simulation engine: a virtual nanosecond clock, a binary
+// event heap, and a same-timestamp ready queue. Everything timed in the
+// repository (SM warp segments, NVMe command completions, doorbell fetch
+// delays, service polling) is an event here.
+//
+// Hot-path design (the engine executes hundreds of millions of events per
+// bench sweep, so events/sec — not model fidelity — caps experiment scale):
+//  - Events are intrusive `EventNode`s carved from slab chunks owned by the
+//    engine and recycled through a free list: steady-state scheduling does
+//    zero heap allocation.
+//  - Callbacks live in a small-buffer-optimized inline payload inside the
+//    node (kInlineCallbackBytes). Oversized callables fall back to one boxed
+//    heap allocation; every callback in the simulator's hot paths fits
+//    inline.
+//  - `scheduleNow` / `scheduleAfter(0, ...)` append to a singly-linked FIFO
+//    ready queue instead of the heap. Wakeups (WaitList notifies, kernel
+//    completion callbacks) all take this O(1) path, bypassing the O(log n)
+//    heap entirely.
 //
 // The engine is strictly single-threaded and deterministic: events at the
 // same timestamp fire in schedule order (tie broken by sequence number).
-// Parallelism in benches comes from running independent engines on separate
-// host threads (see sim/sweep.h), mirroring how sweep points in the paper are
-// independent runs.
+// The ready queue and the heap are merged on (time, seq), so routing an
+// event through one or the other never changes execution order relative to
+// the classic all-heap engine. Parallelism in benches comes from running
+// independent engines on separate host threads (see sim/sweep.h), mirroring
+// how sweep points in the paper are independent runs.
 #pragma once
 
+#include <algorithm>
+#include <cstddef>
 #include <functional>
-#include <queue>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "common/check.h"
@@ -21,79 +43,266 @@ namespace agile::sim {
 
 class Engine {
  public:
+  // Inline callback capacity. 48 bytes holds a std::function (32 bytes on
+  // libstdc++), or a lambda capturing up to six pointers — every scheduling
+  // site in src/ fits.
+  static constexpr std::size_t kInlineCallbackBytes = 48;
+
   Engine() = default;
+  ~Engine();
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
   SimTime now() const { return now_; }
 
-  // Schedule `fn` to run at absolute virtual time `t` (>= now).
-  void scheduleAt(SimTime t, std::function<void()> fn);
+  // Schedule `fn` to run at absolute virtual time `t` (>= now). Events at
+  // t == now() take the ready-queue fast path.
+  template <class F>
+  void scheduleAt(SimTime t, F&& fn) {
+    AGILE_CHECK_MSG(t >= now_, "cannot schedule event in the virtual past");
+    EventNode* n = makeNode(std::forward<F>(fn));
+    if (t == now_) {
+      pushReady(n);
+    } else {
+      heap_.push_back(HeapEntry{t, n->seq, n});
+      std::push_heap(heap_.begin(), heap_.end(), HeapLater{});
+    }
+  }
 
   // Schedule `fn` to run `delay` ns from now.
-  void scheduleAfter(SimTime delay, std::function<void()> fn) {
-    scheduleAt(now_ + delay, std::move(fn));
+  template <class F>
+  void scheduleAfter(SimTime delay, F&& fn) {
+    if (delay == 0) {
+      scheduleNow(std::forward<F>(fn));
+    } else {
+      scheduleAt(now_ + delay, std::forward<F>(fn));
+    }
+  }
+
+  // Zero-delay schedule: fires at now() in FIFO order with every other event
+  // carrying the same timestamp. O(1), never touches the heap.
+  template <class F>
+  void scheduleNow(F&& fn) {
+    pushReady(makeNode(std::forward<F>(fn)));
   }
 
   // Run until the predicate returns true or no events remain.
   // Returns true if the predicate was satisfied.
   bool runUntil(const std::function<bool()>& done);
 
-  // Run until the event heap drains.
+  // Run until both the ready queue and the event heap drain.
   void runToCompletion();
 
   // Run until virtual time would exceed `deadline`; events at later times
   // stay queued.
   void runFor(SimTime deadline);
 
-  bool idle() const { return events_.empty(); }
-  std::size_t pendingEvents() const { return events_.size(); }
+  bool idle() const { return readyHead_ == nullptr && heap_.empty(); }
+  std::size_t pendingEvents() const { return heap_.size() + readyCount_; }
   std::uint64_t executedEvents() const { return executed_; }
+  // Events that took the O(1) ready-queue path (wakeups / zero-delay).
+  std::uint64_t readyPathEvents() const { return readyPath_; }
+  // Slab chunks allocated over the engine's lifetime (capacity telemetry).
+  std::size_t slabChunks() const { return slabs_.size(); }
 
   StatsRegistry& stats() { return stats_; }
   const StatsRegistry& stats() const { return stats_; }
 
  private:
-  struct Event {
+  // Intrusive slab-allocated event. `op` is the SBO trampoline: invoked with
+  // run=true to fire (consuming the callback and recycling the node) or
+  // run=false to destroy a never-fired callback during engine teardown.
+  struct EventNode {
+    std::uint64_t seq = 0;
+    EventNode* next = nullptr;  // ready-queue or free-list link
+    void (*op)(Engine*, EventNode*, bool run) = nullptr;
+    alignas(std::max_align_t) std::byte storage[kInlineCallbackBytes];
+  };
+
+  struct HeapEntry {
     SimTime time;
     std::uint64_t seq;
-    std::function<void()> fn;
+    EventNode* node;
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
+  // "later-than" comparator: std:: heap algorithms with this give a min-heap
+  // on (time, seq).
+  struct HeapLater {
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+      return a.time != b.time ? a.time > b.time : a.seq > b.seq;
     }
   };
+
+  static constexpr std::size_t kSlabChunkEvents = 1024;
+
+  template <class Fn>
+  static void runInline(Engine* e, EventNode* n, bool run) {
+    Fn* f = std::launder(reinterpret_cast<Fn*>(n->storage));
+    if (!run) {
+      f->~Fn();
+      return;
+    }
+    // Move the callback out and recycle the node *before* invoking: the
+    // callback may schedule new events, which can then reuse this node.
+    Fn local(std::move(*f));
+    f->~Fn();
+    e->freeNode(n);
+    local();
+  }
+
+  template <class Fn>
+  static void runBoxed(Engine* e, EventNode* n, bool run) {
+    Fn* f = *std::launder(reinterpret_cast<Fn**>(n->storage));
+    if (!run) {
+      delete f;
+      return;
+    }
+    e->freeNode(n);
+    (*f)();
+    delete f;
+  }
+
+  template <class F>
+  EventNode* makeNode(F&& fn) {
+    using Fn = std::decay_t<F>;
+    EventNode* n = allocNode();
+    n->seq = nextSeq_++;
+    if constexpr (sizeof(Fn) <= kInlineCallbackBytes &&
+                  alignof(Fn) <= alignof(std::max_align_t)) {
+      ::new (static_cast<void*>(n->storage)) Fn(std::forward<F>(fn));
+      n->op = &runInline<Fn>;
+    } else {
+      ::new (static_cast<void*>(n->storage)) Fn*(new Fn(std::forward<F>(fn)));
+      n->op = &runBoxed<Fn>;
+    }
+    return n;
+  }
+
+  EventNode* allocNode() {
+    if (freeList_ != nullptr) {
+      EventNode* n = freeList_;
+      freeList_ = n->next;
+      return n;
+    }
+    if (slabs_.empty() || slabUsed_ == kSlabChunkEvents) {
+      slabs_.push_back(std::make_unique<EventNode[]>(kSlabChunkEvents));
+      slabUsed_ = 0;
+    }
+    return &slabs_.back()[slabUsed_++];
+  }
+
+  void freeNode(EventNode* n) {
+    n->next = freeList_;
+    freeList_ = n;
+  }
+
+  void pushReady(EventNode* n) {
+    n->next = nullptr;
+    if (readyTail_ != nullptr) {
+      readyTail_->next = n;
+    } else {
+      readyHead_ = n;
+    }
+    readyTail_ = n;
+    ++readyCount_;
+    ++readyPath_;
+  }
 
   bool step();
 
   SimTime now_ = 0;
   std::uint64_t nextSeq_ = 0;
   std::uint64_t executed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> events_;
+  std::uint64_t readyPath_ = 0;
+
+  // Same-timestamp FIFO: every node here fires at now_. The queue always
+  // drains (in seq order, merged against the heap) before time advances.
+  EventNode* readyHead_ = nullptr;
+  EventNode* readyTail_ = nullptr;
+  std::size_t readyCount_ = 0;
+
+  std::vector<HeapEntry> heap_;  // binary min-heap on (time, seq)
+
+  // Slab storage: chunk list plus an intrusive free list of recycled nodes.
+  std::vector<std::unique_ptr<EventNode[]>> slabs_;
+  std::size_t slabUsed_ = 0;
+  EventNode* freeList_ = nullptr;
+
   StatsRegistry stats_;
 };
 
-// A list of parked continuations woken by an explicit notify. Used for
+// Intrusive waiter node for WaitList. Embed one (or a derived struct
+// carrying context) in any object that parks; the storage must outlive the
+// park-to-fire window. `fire` runs when the notify event executes; `drop`
+// (optional) runs if the WaitList is destroyed with the waiter still parked.
+struct WaitNode {
+  WaitNode* next = nullptr;
+  void (*fire)(WaitNode*) = nullptr;
+  void (*drop)(WaitNode*) = nullptr;
+};
+
+// A FIFO of parked continuations woken by an explicit notify. Used for
 // event-driven wakeups of GPU lanes stalled on I/O barriers, cache-line state
 // changes, and share-table transitions (instead of per-lane busy polling,
 // which would swamp the event heap at 10^5 concurrent requests).
+//
+// The list is intrusive: park and notifyOne are O(1) pointer splices, and
+// parking an embedded node allocates nothing. A callable-taking overload
+// remains for cold paths and tests; it heap-allocates a self-deleting node.
 class WaitList {
  public:
-  void park(std::function<void()> wake) { waiters_.push_back(std::move(wake)); }
+  WaitList() = default;
+  ~WaitList();
+  WaitList(const WaitList&) = delete;
+  WaitList& operator=(const WaitList&) = delete;
 
-  // Wake all waiters through the engine at `engine.now()`.
+  // O(1) intrusive park. The node must not already be parked anywhere.
+  void park(WaitNode& node) {
+    AGILE_DCHECK(node.fire != nullptr);
+    node.next = nullptr;
+    if (tail_ != nullptr) {
+      tail_->next = &node;
+    } else {
+      head_ = &node;
+    }
+    tail_ = &node;
+    ++size_;
+  }
+
+  // Convenience park for arbitrary callables (cold paths / tests).
+  template <class F>
+    requires std::is_invocable_v<std::decay_t<F>&>
+  void park(F&& wake) {
+    struct FnNode : WaitNode {
+      explicit FnNode(F&& f) : fn(std::forward<F>(f)) {}
+      std::decay_t<F> fn;
+    };
+    auto* n = new FnNode(std::forward<F>(wake));
+    n->fire = [](WaitNode* w) {
+      auto* s = static_cast<FnNode*>(w);
+      auto fn = std::move(s->fn);
+      delete s;
+      fn();
+    };
+    n->drop = [](WaitNode* w) { delete static_cast<FnNode*>(w); };
+    park(*n);
+  }
+
+  // Wake all waiters through the engine at `engine.now()` (one ready-queue
+  // event per waiter, in park order).
   void notifyAll(Engine& engine);
 
   // Wake one waiter (FIFO).
   void notifyOne(Engine& engine);
 
-  bool empty() const { return waiters_.empty(); }
-  std::size_t size() const { return waiters_.size(); }
+  bool empty() const { return head_ == nullptr; }
+  std::size_t size() const { return size_; }
 
  private:
-  std::vector<std::function<void()>> waiters_;
+  WaitNode* popFront();
+
+  WaitNode* head_ = nullptr;
+  WaitNode* tail_ = nullptr;
+  std::size_t size_ = 0;
 };
 
 }  // namespace agile::sim

@@ -125,6 +125,61 @@ TEST_F(CacheFixture, DirtyVictimRequiresWriteback) {
   EXPECT_EQ(cache.stats().writebacks, 1u);
 }
 
+// busyLines() is an O(1) maintained counter; it must agree with a full line
+// scan (busyLinesSlow) through every BUSY transition: claim, fill
+// success/failure, dirty eviction, writeback success/failure.
+TEST_F(CacheFixture, BusyLineCounterTracksAllTransitions) {
+  SoftwareCache<ClockPolicy> cache(gpu.hbm(), 2);
+  auto sync = [&] { EXPECT_EQ(cache.busyLines(), cache.busyLinesSlow()); };
+  ASSERT_TRUE(run1([&](gpu::KernelCtx& ctx) -> gpu::GpuTask<void> {
+    EXPECT_EQ(cache.busyLines(), 0u);
+    auto a = cache.probeOrClaim(ctx, makeTag(0, 1));
+    EXPECT_EQ(a.outcome, ProbeOutcome::kClaimed);
+    sync();
+    EXPECT_EQ(cache.busyLines(), 1u);
+    auto b = cache.probeOrClaim(ctx, makeTag(0, 2));
+    EXPECT_EQ(b.outcome, ProbeOutcome::kClaimed);
+    sync();
+    EXPECT_EQ(cache.busyLines(), 2u);
+    cache.line(a.line).onFillComplete(eng, nvme::Status::kSuccess);
+    sync();
+    EXPECT_EQ(cache.busyLines(), 1u);
+    cache.line(b.line).onFillComplete(eng, nvme::Status::kUnrecoveredReadError);
+    sync();
+    EXPECT_EQ(cache.busyLines(), 0u);
+    cache.markModified(a.line);
+    // Thrash fresh tags through the 2-line cache, resolving every outcome
+    // (fills succeed or fail, writebacks succeed or fault once) and checking
+    // counter == scan after each transition.
+    for (std::uint64_t lba = 3; lba < 40; ++lba) {
+      bool faultedOnce = false;
+      for (;;) {
+        auto r = cache.probeOrClaim(ctx, makeTag(0, lba));
+        sync();
+        if (r.outcome == ProbeOutcome::kClaimed) {
+          cache.line(r.line).onFillComplete(
+              eng, lba % 3 == 0 ? nvme::Status::kUnrecoveredReadError
+                                : nvme::Status::kSuccess);
+          sync();
+          if (cache.line(r.line).state == LineState::kReady && lba % 2 == 0) {
+            cache.markModified(r.line);  // seed future writebacks
+          }
+          break;
+        }
+        EXPECT_EQ(r.outcome, ProbeOutcome::kNeedWriteback);
+        if (r.outcome != ProbeOutcome::kNeedWriteback) break;
+        const bool fault = !faultedOnce && lba % 5 == 0;
+        faultedOnce = true;
+        cache.line(r.line).onWritebackComplete(
+            eng, fault ? nvme::Status::kWriteFault : nvme::Status::kSuccess);
+        sync();
+      }
+    }
+    EXPECT_EQ(cache.busyLines(), 0u);
+    co_return;
+  }));
+}
+
 TEST_F(CacheFixture, FailedWritebackKeepsDataModified) {
   SoftwareCache<ClockPolicy> cache(gpu.hbm(), 1);
   ASSERT_TRUE(run1([&](gpu::KernelCtx& ctx) -> gpu::GpuTask<void> {

@@ -1,7 +1,10 @@
 // Unit tests for the DES engine, wait lists, token bucket, and sweep runner.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
+#include <functional>
+#include <memory>
 #include <vector>
 
 #include "sim/engine.h"
@@ -119,6 +122,223 @@ TEST(WaitListTest, NotifyEmptyIsNoop) {
   wl.notifyOne(eng);
   eng.runToCompletion();
   EXPECT_TRUE(wl.empty());
+}
+
+// --- regression tests for the slab/ready-queue engine rebuild ------------
+
+// Same-timestamp events must fire in schedule order regardless of whether
+// they were routed through the ready queue (t == now / zero delay) or the
+// heap (scheduled for the future and reached later).
+TEST(EngineTest, ReadyQueueAndHeapMergeInScheduleOrder) {
+  Engine eng;
+  std::vector<int> order;
+  // A and B land on the heap for t=10 (seqs 0, 1).
+  eng.scheduleAt(10, [&] {
+    order.push_back(0);
+    // From inside t=10: C via zero delay (ready queue), D via absolute
+    // scheduleAt(now) (also ready queue), E back on the heap for t=10 is
+    // impossible — but B (earlier seq) must still fire before C and D.
+    eng.scheduleAfter(0, [&] { order.push_back(2); });
+    eng.scheduleAt(10, [&] { order.push_back(3); });
+  });
+  eng.scheduleAt(10, [&] { order.push_back(1); });
+  eng.runToCompletion();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(eng.now(), 10);
+}
+
+// Zero-delay cascades interleave with heap events at the same timestamp in
+// strict sequence order.
+TEST(EngineTest, ZeroDelayDoesNotStarveSameTimeHeapEvents) {
+  Engine eng;
+  std::vector<int> order;
+  eng.scheduleAt(5, [&] {
+    order.push_back(1);
+    eng.scheduleAfter(0, [&] { order.push_back(3); });
+  });
+  eng.scheduleAt(5, [&] { order.push_back(2); });
+  eng.scheduleAt(6, [&] { order.push_back(4); });
+  eng.runToCompletion();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+}
+
+// runFor boundary semantics: events exactly at the deadline fire, events one
+// tick later stay queued, and the clock lands exactly on the deadline.
+TEST(EngineTest, RunForDeadlineBoundary) {
+  Engine eng;
+  std::vector<int> fired;
+  eng.scheduleAt(50, [&] {
+    fired.push_back(1);
+    // Zero-delay follow-up at the deadline itself must also run.
+    eng.scheduleAfter(0, [&] { fired.push_back(2); });
+  });
+  eng.scheduleAt(51, [&] { fired.push_back(3); });
+  eng.runFor(50);
+  EXPECT_EQ(fired, (std::vector<int>{1, 2}));
+  EXPECT_EQ(eng.now(), 50);
+  EXPECT_EQ(eng.pendingEvents(), 1u);
+  eng.runToCompletion();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+// runFor with a deadline in the past runs nothing and does not move time
+// backwards.
+TEST(EngineTest, RunForPastDeadlineIsNoop) {
+  Engine eng;
+  int fired = 0;
+  eng.scheduleAt(10, [&] { ++fired; });
+  eng.runFor(20);
+  EXPECT_EQ(eng.now(), 20);
+  eng.scheduleAt(30, [&] { ++fired; });
+  eng.runFor(5);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(eng.now(), 20);
+  EXPECT_EQ(eng.pendingEvents(), 1u);
+}
+
+// Slab recycling: a long zero-delay chain with a small working set must not
+// grow the slab beyond one chunk, and idle()/pendingEvents() must track the
+// ready queue as well as the heap.
+TEST(EngineTest, SlabNodesRecycleThroughFreeList) {
+  Engine eng;
+  std::uint64_t remaining = 100'000;
+  std::function<void()> tick = [&] {
+    if (remaining-- > 0) eng.scheduleAfter(0, tick);
+  };
+  eng.scheduleAfter(0, tick);
+  EXPECT_FALSE(eng.idle());
+  EXPECT_EQ(eng.pendingEvents(), 1u);
+  eng.runToCompletion();
+  EXPECT_TRUE(eng.idle());
+  EXPECT_EQ(eng.executedEvents(), 100'001u);
+  EXPECT_EQ(eng.slabChunks(), 1u);
+  EXPECT_EQ(eng.readyPathEvents(), 100'001u);
+}
+
+// Callbacks that never fire (engine destroyed with events pending, in both
+// the heap and the ready queue) must still be destroyed.
+TEST(EngineTest, DestructorReleasesPendingCallbacks) {
+  auto token = std::make_shared<int>(42);
+  {
+    Engine eng;
+    bool parentFired = false;
+    eng.scheduleAt(10, [keep = token] {});
+    eng.scheduleAt(5, [&eng, &parentFired, keep = token] {
+      parentFired = true;
+      eng.scheduleAfter(0, [inner = keep] {});
+    });
+    // Stop right after the t=5 parent: its zero-delay child is still in the
+    // ready queue, the t=10 event still in the heap.
+    eng.runUntil([&] { return parentFired; });
+    EXPECT_EQ(eng.pendingEvents(), 2u);
+    EXPECT_EQ(token.use_count(), 3);
+  }
+  EXPECT_EQ(token.use_count(), 1);
+}
+
+// Callables wider than the inline payload take the boxed fallback and still
+// run (and destroy) correctly.
+TEST(EngineTest, OversizedCallbacksFallBackToBoxing) {
+  Engine eng;
+  std::array<std::uint64_t, 16> big{};  // 128 bytes > kInlineCallbackBytes
+  big[15] = 7;
+  std::uint64_t seen = 0;
+  eng.scheduleAfter(3, [big, &seen] { seen = big[15]; });
+  auto token = std::make_shared<int>(1);
+  eng.scheduleAt(10, [big, keep = token] {});  // destroyed unfired
+  eng.runFor(5);
+  EXPECT_EQ(seen, 7u);
+  EXPECT_EQ(token.use_count(), 2);
+}
+
+TEST(WaitListTest, NotifyOneFifoUnderReparking) {
+  Engine eng;
+  WaitList wl;
+  std::vector<int> order;
+  std::function<void()> w1 = [&] {
+    order.push_back(1);
+    wl.park(w1);  // immediately re-park at the tail
+  };
+  eng.scheduleAt(1, [&] {
+    wl.park(w1);
+    wl.park([&] { order.push_back(2); });
+  });
+  eng.scheduleAt(2, [&] { wl.notifyOne(eng); });  // wakes 1, which re-parks
+  eng.scheduleAt(3, [&] { wl.notifyOne(eng); });  // must wake 2, not 1 again
+  eng.scheduleAt(4, [&] { wl.notifyOne(eng); });  // 1 again (now at head)
+  eng.runToCompletion();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 1}));
+  EXPECT_EQ(wl.size(), 1u);  // the re-parked 1
+}
+
+// Intrusive parking: an embedded WaitNode round-trips with no allocation and
+// fires through the engine like a callable waiter.
+TEST(WaitListTest, IntrusiveNodeParkAndFire) {
+  struct Counter : WaitNode {
+    int fired = 0;
+  };
+  Engine eng;
+  WaitList wl;
+  Counter a, b;
+  a.fire = b.fire = [](WaitNode* n) { ++static_cast<Counter*>(n)->fired; };
+  wl.park(a);
+  wl.park(b);
+  EXPECT_EQ(wl.size(), 2u);
+  wl.notifyOne(eng);
+  eng.runToCompletion();
+  EXPECT_EQ(a.fired, 1);
+  EXPECT_EQ(b.fired, 0);
+  wl.notifyAll(eng);
+  eng.runToCompletion();
+  EXPECT_EQ(b.fired, 1);
+  EXPECT_TRUE(wl.empty());
+}
+
+// Destroying a WaitList with callable waiters still parked must release
+// them (the drop hook).
+TEST(WaitListTest, DestructionDropsParkedWaiters) {
+  auto token = std::make_shared<int>(0);
+  {
+    WaitList wl;
+    wl.park([keep = token] {});
+    wl.park([keep = token] {});
+    EXPECT_EQ(token.use_count(), 3);
+  }
+  EXPECT_EQ(token.use_count(), 1);
+}
+
+// A waiter that was notified (popped off the list, wake event queued) but
+// whose wake never ran because the engine was torn down must still be
+// released through its drop hook.
+TEST(WaitListTest, NotifiedButUnfiredWaiterReleasedAtTeardown) {
+  auto token = std::make_shared<int>(0);
+  {
+    Engine eng;
+    WaitList wl;
+    wl.park([keep = token] {});
+    wl.notifyOne(eng);  // off the list, queued as an engine event
+    EXPECT_TRUE(wl.empty());
+    EXPECT_EQ(token.use_count(), 2);
+  }  // engine destroyed without running the wake
+  EXPECT_EQ(token.use_count(), 1);
+}
+
+// A waiter woken by notifyAll re-parking itself lands on the *next* notify
+// round, not the current one (no livelock).
+TEST(WaitListTest, NotifyAllReparkersWaitForNextRound) {
+  Engine eng;
+  WaitList wl;
+  int wakes = 0;
+  std::function<void()> again = [&] {
+    ++wakes;
+    wl.park(again);
+  };
+  eng.scheduleAt(1, [&] { wl.park(again); });
+  eng.scheduleAt(2, [&] { wl.notifyAll(eng); });
+  eng.scheduleAt(3, [&] { wl.notifyAll(eng); });
+  eng.runToCompletion();
+  EXPECT_EQ(wakes, 2);
+  EXPECT_EQ(wl.size(), 1u);
 }
 
 TEST(TokenBucketTest, BurstCompletesImmediately) {
