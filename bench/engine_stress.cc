@@ -1,15 +1,24 @@
 // Events/sec harness for the DES hot path.
 //
-// Runs four synthetic event workloads — chosen to mirror how the figure
-// benches actually load the engine — against (a) the production slab/ready-
-// queue engine in sim/engine.h and (b) a faithful copy of the pre-refactor
-// engine (std::function events on a std::priority_queue, WaitList as a
-// vector with front erasure), compiled into this binary as the baseline.
+// Runs seven synthetic event workloads — chosen to mirror how the figure
+// benches actually load the engine — against (a) the production wheel/slab/
+// ready-queue engine in sim/engine.h and (b) a faithful copy of the
+// pre-refactor engine (std::function events on a std::priority_queue with
+// lazy cancellation, WaitList as a vector with front erasure), compiled into
+// this binary as the baseline.
 //
 // Workloads:
 //   timer_churn   self-rescheduling timers with pseudorandom delays and a
 //                 48-byte capture (the NVMe completion / doorbell pattern:
-//                 heap push/pop dominated).
+//                 timer-structure bound).
+//   timer_dense   delays quantized onto shared ticks, piling many timers
+//                 into the same wheel bucket (doorbell-batch completions).
+//   timer_horizon delays spanning every wheel level and the overflow heap
+//                 (mixed poll backoffs / NVMe latencies / epoch timers);
+//                 exercises cascades at level rollover.
+//   timer_cancel  schedule-then-cancel churn over a sliding window (the
+//                 speculative-prefetch / timeout-arm pattern: most timers
+//                 are cancelled before they fire).
 //   zero_delay    fan of scheduleAfter(0, ...) cascades (the notify/wakeup
 //                 pattern: ready-queue fast path vs heap).
 //   notify_one    a service-like FIFO hand-off chain over one big WaitList
@@ -17,10 +26,10 @@
 //   notify_all    rounds of park-everyone / notifyAll wake storms (the cache
 //                 line onFillComplete pattern).
 //
-// Each workload folds every callback invocation into an order-sensitive hash
-// on both engines; a hash mismatch means the refactor changed execution
-// order and the run aborts. Results go to stdout and BENCH_engine.json (see
-// bench/README.md for the schema).
+// Each workload folds every callback invocation (and every cancel verdict)
+// into an order-sensitive hash on both engines; a hash mismatch means the
+// refactor changed execution order and the run aborts. Results go to stdout
+// and BENCH_engine.json (see bench/README.md for the schema).
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -28,6 +37,7 @@
 #include <functional>
 #include <queue>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "common/check.h"
@@ -53,6 +63,23 @@ class LegacyEngine {
     scheduleAt(now_ + delay, std::move(fn));
   }
 
+  // Cancellable schedule: tracks the seq in a live set (cancel-workload
+  // only, so the plain workloads pay nothing beyond an empty() branch).
+  std::uint64_t scheduleAfterCancellable(SimTime delay,
+                                         std::function<void()> fn) {
+    const std::uint64_t seq = nextSeq_;
+    live_.insert(seq);
+    scheduleAfter(delay, std::move(fn));
+    return seq;
+  }
+
+  // Textbook lazy heap cancellation: mark the seq, skip it at pop time.
+  bool cancel(std::uint64_t seq) {
+    if (live_.erase(seq) == 0) return false;
+    cancelled_.insert(seq);
+    return true;
+  }
+
   void runToCompletion() {
     while (step()) {
     }
@@ -74,19 +101,25 @@ class LegacyEngine {
   };
 
   bool step() {
-    if (events_.empty()) return false;
-    Event ev = std::move(const_cast<Event&>(events_.top()));
-    events_.pop();
-    now_ = ev.time;
-    ++executed_;
-    ev.fn();
-    return true;
+    while (!events_.empty()) {
+      Event ev = std::move(const_cast<Event&>(events_.top()));
+      events_.pop();
+      if (!cancelled_.empty() && cancelled_.erase(ev.seq) != 0) continue;
+      if (!live_.empty()) live_.erase(ev.seq);
+      now_ = ev.time;
+      ++executed_;
+      ev.fn();
+      return true;
+    }
+    return false;
   }
 
   SimTime now_ = 0;
   std::uint64_t nextSeq_ = 0;
   std::uint64_t executed_ = 0;
   std::priority_queue<Event, std::vector<Event>, Later> events_;
+  std::unordered_set<std::uint64_t> live_;
+  std::unordered_set<std::uint64_t> cancelled_;
 };
 
 class LegacyWaitList {
@@ -147,6 +180,129 @@ std::uint64_t timerChurn(E& eng, std::uint64_t events, std::uint64_t fan,
                       Timer<E>{&eng, &remaining, hash, i * 0x9e3779b97f4a7c15ull + 1,
                                0, 0});
   }
+  eng.runToCompletion();
+  return eng.executedEvents();
+}
+
+// Dense same-tick timers: delays quantized to multiples of 64 ns so many
+// concurrent timers collapse onto the same wheel bucket / heap timestamp
+// (the doorbell-batch completion pattern).
+template <class E>
+struct DenseTimer {
+  E* eng;
+  std::uint64_t* remaining;
+  std::uint64_t* hash;
+  std::uint64_t rng;
+  std::uint64_t pad0, pad1;  // pad to the hot lambdas' capture size
+
+  void operator()() {
+    *hash = *hash * kFnv ^ rng;
+    if (*remaining == 0) return;
+    --*remaining;
+    rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+    eng->scheduleAfter(64 * (1 + static_cast<SimTime>((rng >> 33) % 16)),
+                      DenseTimer{*this});
+  }
+};
+
+template <class E>
+std::uint64_t timerDense(E& eng, std::uint64_t events, std::uint64_t fan,
+                         std::uint64_t* hash) {
+  std::uint64_t remaining = events;
+  for (std::uint64_t i = 0; i < fan; ++i) {
+    eng.scheduleAfter(64 * (1 + static_cast<SimTime>(i % 16)),
+                      DenseTimer<E>{&eng, &remaining, hash,
+                                    i * 0x9e3779b97f4a7c15ull + 1, 0, 0});
+  }
+  eng.runToCompletion();
+  return eng.executedEvents();
+}
+
+// Long-horizon timers: delays drawn as pseudorandom powers of two from 1 ns
+// to ~8.6 s, touching every wheel level, forcing cascades at level
+// rollovers, and spilling past the wheel horizon into the overflow heap.
+template <class E>
+struct HorizonTimer {
+  E* eng;
+  std::uint64_t* remaining;
+  std::uint64_t* hash;
+  std::uint64_t rng;
+  std::uint64_t pad0, pad1;
+
+  void operator()() {
+    *hash = *hash * kFnv ^ rng;
+    if (*remaining == 0) return;
+    --*remaining;
+    rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+    const unsigned exp = static_cast<unsigned>((rng >> 33) % 34);  // 0..33
+    const SimTime delay = static_cast<SimTime>(
+        (std::uint64_t{1} << exp) + ((rng >> 40) % 997));
+    eng->scheduleAfter(delay, HorizonTimer{*this});
+  }
+};
+
+template <class E>
+std::uint64_t timerHorizon(E& eng, std::uint64_t events, std::uint64_t fan,
+                           std::uint64_t* hash) {
+  std::uint64_t remaining = events;
+  for (std::uint64_t i = 0; i < fan; ++i) {
+    eng.scheduleAfter(1 + static_cast<SimTime>(i % 97),
+                      HorizonTimer<E>{&eng, &remaining, hash,
+                                      i * 0x9e3779b97f4a7c15ull + 1, 0, 0});
+  }
+  eng.runToCompletion();
+  return eng.executedEvents();
+}
+
+// --- cancellable-schedule shims (uniform surface over both engines) ------
+
+template <class F>
+std::uint64_t scheduleCancellable(LegacyEngine& e, SimTime delay, F&& fn) {
+  return e.scheduleAfterCancellable(delay, std::forward<F>(fn));
+}
+template <class F>
+sim::TimerId scheduleCancellable(sim::Engine& e, SimTime delay, F&& fn) {
+  return e.scheduleAfter(delay, std::forward<F>(fn));
+}
+
+// Schedule-then-cancel churn: a driver arms one victim timer per round and
+// cancels the victim armed `window` rounds earlier — which may or may not
+// have fired yet, and the cancel verdict is folded into the hash so both
+// engines must agree on exactly which timers died. This is the
+// speculative-prefetch / I/O-timeout pattern where most timers never fire.
+template <class E>
+std::uint64_t timerCancel(E& eng, std::uint64_t rounds, std::uint64_t window,
+                          std::uint64_t* hash) {
+  struct Victim {
+    std::uint64_t* hash;
+    std::uint64_t id;
+    void operator()() const { *hash = *hash * kFnv ^ id; }
+  };
+  using Id = decltype(scheduleCancellable(eng, SimTime{1},
+                                          Victim{nullptr, 0}));
+  std::vector<Id> ring(window);
+  std::uint64_t remaining = rounds;
+  std::uint64_t armed = 0;
+  std::uint64_t rng = 0x9e3779b97f4a7c15ull;
+  std::function<void()> driver = [&] {
+    *hash = *hash * kFnv ^ 0xD21Fu;
+    if (remaining == 0) return;
+    --remaining;
+    rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+    const std::uint64_t i = armed++;
+    const SimTime victimDelay = 3 + static_cast<SimTime>((rng >> 33) % 1021);
+    const Id id =
+        scheduleCancellable(eng, victimDelay, Victim{hash, i + 1});
+    const std::size_t slot = static_cast<std::size_t>(i % window);
+    if (i >= window) {
+      const bool hit = eng.cancel(ring[slot]);
+      *hash = *hash * kFnv ^ (hit ? 0xC0FFEEull : 0xDEADull);
+    }
+    ring[slot] = id;
+    rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+    eng.scheduleAfter(1 + static_cast<SimTime>((rng >> 33) % 97), driver);
+  };
+  eng.scheduleAfter(1, driver);
   eng.runToCompletion();
   return eng.executedEvents();
 }
@@ -358,6 +514,7 @@ int main(int argc, char** argv) {
   const int reps = quick ? 2 : 3;
 
   const std::uint64_t timerEvents = 500'000 * scale;
+  const std::uint64_t cancelRounds = 250'000 * scale;
   const std::uint64_t cascadeEvents = 500'000 * scale;
   // The legacy vector-front erase makes notify_one quadratic in waiters;
   // scale it gently so full mode stays inside CI budgets.
@@ -374,6 +531,30 @@ int main(int argc, char** argv) {
       },
       [&](sim::Engine& e, std::uint64_t* h) {
         return timerChurn(e, timerEvents, 4096, h);
+      }));
+  results.push_back(measure(
+      "timer_dense", reps,
+      [&](LegacyEngine& e, std::uint64_t* h) {
+        return timerDense(e, timerEvents, 4096, h);
+      },
+      [&](sim::Engine& e, std::uint64_t* h) {
+        return timerDense(e, timerEvents, 4096, h);
+      }));
+  results.push_back(measure(
+      "timer_horizon", reps,
+      [&](LegacyEngine& e, std::uint64_t* h) {
+        return timerHorizon(e, timerEvents, 4096, h);
+      },
+      [&](sim::Engine& e, std::uint64_t* h) {
+        return timerHorizon(e, timerEvents, 4096, h);
+      }));
+  results.push_back(measure(
+      "timer_cancel", reps,
+      [&](LegacyEngine& e, std::uint64_t* h) {
+        return timerCancel(e, cancelRounds, 4096, h);
+      },
+      [&](sim::Engine& e, std::uint64_t* h) {
+        return timerCancel(e, cancelRounds, 4096, h);
       }));
   results.push_back(measure(
       "zero_delay", reps,

@@ -1,0 +1,145 @@
+// SmallFn: a copyable, small-buffer-optimized std::function replacement.
+//
+// The DES engine keeps event callbacks inline inside slab nodes
+// (sim/engine.h); SmallFn brings the same technique to long-lived callable
+// members — kernel device functions, completion hooks — where std::function's
+// 16-byte libstdc++ inline buffer forces a heap allocation for anything
+// capturing more than two pointers. Callables up to InlineBytes live inside
+// the wrapper; larger ones fall back to one boxed allocation (copying the
+// wrapper then clones the box, exactly like std::function).
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "common/check.h"
+
+namespace agile {
+
+template <class Sig, std::size_t InlineBytes = 48>
+class SmallFn;
+
+template <class R, class... Args, std::size_t InlineBytes>
+class SmallFn<R(Args...), InlineBytes> {
+ public:
+  SmallFn() = default;
+
+  template <class F>
+    requires(!std::is_same_v<std::decay_t<F>, SmallFn> &&
+             std::is_invocable_r_v<R, std::decay_t<F>&, Args...>)
+  SmallFn(F&& f) {  // NOLINT(google-explicit-constructor): mirrors std::function
+    using Fn = std::decay_t<F>;
+    if constexpr (fitsInline<Fn>()) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+      ops_ = &kInlineOps<Fn>;
+    } else {
+      ::new (static_cast<void*>(storage_)) Fn*(new Fn(std::forward<F>(f)));
+      ops_ = &kBoxedOps<Fn>;
+    }
+  }
+
+  SmallFn(const SmallFn& o) : ops_(o.ops_) {
+    if (ops_ != nullptr) ops_->copyTo(o.storage_, storage_);
+  }
+  SmallFn(SmallFn&& o) noexcept : ops_(std::exchange(o.ops_, nullptr)) {
+    if (ops_ != nullptr) ops_->moveTo(o.storage_, storage_);
+  }
+  SmallFn& operator=(const SmallFn& o) {
+    if (this != &o) {
+      reset();
+      ops_ = o.ops_;
+      if (ops_ != nullptr) ops_->copyTo(o.storage_, storage_);
+    }
+    return *this;
+  }
+  SmallFn& operator=(SmallFn&& o) noexcept {
+    if (this != &o) {
+      reset();
+      ops_ = std::exchange(o.ops_, nullptr);
+      if (ops_ != nullptr) ops_->moveTo(o.storage_, storage_);
+    }
+    return *this;
+  }
+  ~SmallFn() { reset(); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  // Like std::function, const-callable regardless of the target's own
+  // operator() qualification (the simulator is single-threaded).
+  R operator()(Args... args) const {
+    AGILE_DCHECK(ops_ != nullptr);
+    return ops_->invoke(storage_, std::forward<Args>(args)...);
+  }
+
+ private:
+  struct Ops {
+    R (*invoke)(const std::byte*, Args&&...);
+    void (*copyTo)(const std::byte*, std::byte*);
+    void (*moveTo)(std::byte*, std::byte*);  // move-construct dst, destroy src
+    void (*destroy)(std::byte*);
+  };
+
+  template <class Fn>
+  static constexpr bool fitsInline() {
+    return sizeof(Fn) <= InlineBytes &&
+           alignof(Fn) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<Fn>;
+  }
+
+  template <class Fn>
+  static Fn* inlinePtr(std::byte* s) {
+    return std::launder(reinterpret_cast<Fn*>(s));
+  }
+  template <class Fn>
+  static const Fn* inlinePtr(const std::byte* s) {
+    return std::launder(reinterpret_cast<const Fn*>(s));
+  }
+  template <class Fn>
+  static Fn* boxedPtr(const std::byte* s) {
+    return *std::launder(reinterpret_cast<Fn* const*>(s));
+  }
+
+  template <class Fn>
+  static constexpr Ops kInlineOps = {
+      [](const std::byte* s, Args&&... a) -> R {
+        return (*const_cast<Fn*>(inlinePtr<Fn>(s)))(std::forward<Args>(a)...);
+      },
+      [](const std::byte* src, std::byte* dst) {
+        ::new (static_cast<void*>(dst)) Fn(*inlinePtr<Fn>(src));
+      },
+      [](std::byte* src, std::byte* dst) {
+        Fn* f = inlinePtr<Fn>(src);
+        ::new (static_cast<void*>(dst)) Fn(std::move(*f));
+        f->~Fn();
+      },
+      [](std::byte* s) { inlinePtr<Fn>(s)->~Fn(); },
+  };
+
+  template <class Fn>
+  static constexpr Ops kBoxedOps = {
+      [](const std::byte* s, Args&&... a) -> R {
+        return (*boxedPtr<Fn>(s))(std::forward<Args>(a)...);
+      },
+      [](const std::byte* src, std::byte* dst) {
+        ::new (static_cast<void*>(dst)) Fn*(new Fn(*boxedPtr<Fn>(src)));
+      },
+      [](std::byte* src, std::byte* dst) {
+        ::new (static_cast<void*>(dst)) Fn*(boxedPtr<Fn>(src));
+      },
+      [](std::byte* s) { delete boxedPtr<Fn>(s); },
+  };
+
+  void reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  const Ops* ops_ = nullptr;
+  alignas(std::max_align_t) mutable std::byte storage_[InlineBytes];
+};
+
+}  // namespace agile

@@ -71,6 +71,10 @@ gpu::GpuTask<void> AgileService::laneBody(gpu::KernelCtx& ctx) {
     // Adaptive idle backoff: busy CQs are polled at the minimum interval,
     // quiet ones progressively less often. Lane 0 updates the shared value
     // first in the segment; all lanes of the warp then sleep the same time.
+    // Each lane's sleep is a timer on the engine's hierarchical wheel
+    // (Lane::suspendSleep → Engine::scheduleAfter): at production line
+    // counts the service contributes thousands of concurrent backoff
+    // timers per poll generation, all O(1) wheel inserts.
     if (ctx.laneId() == 0) {
       idlePerWarp_[warp] = any ? cfg_.idleBackoffMin
                                : std::min(idlePerWarp_[warp] * 2,

@@ -373,7 +373,7 @@ void Gpu::blockFinished(Block* b) {
   if (k->blocksDone == k->cfg.gridDim) {
     k->done = true;
     k->endTime = engine_->now();
-    for (auto& cb : k->onDone) engine_->scheduleAfter(0, cb);
+    k->onDone.notifyAll(*engine_);
   }
   // Destruction is deferred: we are currently inside a lane coroutine of this
   // block, running inside its warp's segment. Reap once the stack unwinds.

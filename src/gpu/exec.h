@@ -23,7 +23,6 @@
 #include <coroutine>
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <memory>
 #include <span>
 #include <string>
@@ -31,6 +30,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/small_fn.h"
 #include "common/stats.h"
 #include "common/types.h"
 #include "gpu/hbm.h"
@@ -75,8 +75,11 @@ struct LaunchConfig {
   std::string name = "kernel";
 };
 
-// Device function run by every lane of a launch.
-using KernelFn = std::function<GpuTask<void>(KernelCtx&)>;
+// Device function run by every lane of a launch. SmallFn keeps the callable
+// inline (64 bytes covers every kernel lambda in src/ and the benches), so a
+// launch allocates nothing for its device function; lanes invoke the single
+// stored copy through a const reference.
+using KernelFn = SmallFn<GpuTask<void>(KernelCtx&), 64>;
 
 // Shared state of one kernel launch; benches read timing from here.
 struct KernelState {
@@ -87,7 +90,10 @@ struct KernelState {
   bool done = false;
   SimTime launchTime = 0;
   SimTime endTime = 0;
-  std::vector<std::function<void()>> onDone;
+  // Completion hooks: notified (one ready-queue event per waiter, in park
+  // order) when the last block retires. Intrusive — parking allocates
+  // nothing for embedded WaitNodes.
+  sim::WaitList onDone;
 
   SimTime elapsed() const { return endTime - launchTime; }
 };

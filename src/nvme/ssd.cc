@@ -56,6 +56,20 @@ void SsdController::writeCqDoorbell(std::uint32_t qid, std::uint32_t newHead) {
   tryPost(qp);
 }
 
+std::uint32_t SsdController::acquireSlot(const Sqe& sqe, std::uint32_t qid) {
+  std::uint32_t slot;
+  if (!freeSlots_.empty()) {
+    slot = freeSlots_.back();
+    freeSlots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(inflight_.size());
+    inflight_.emplace_back();
+  }
+  inflight_[slot].sqe = sqe;
+  inflight_[slot].qid = qid;
+  return slot;
+}
+
 void SsdController::fetchFrom(std::uint32_t qid) {
   auto& qp = *qps_[qid - 1];
   SimTime fetchAt = std::max(engine_->now(), qp.fetchBusyUntil);
@@ -65,10 +79,13 @@ void SsdController::fetchFrom(std::uint32_t qid) {
     fetchAt += cfg_.cmdFetchNs;
     ++outstanding_;
     maxOutstanding_ = std::max(maxOutstanding_, outstanding_);
+    // Park the SQE in the in-flight pool so this timer (and the latency
+    // timer executeCommand schedules next) captures 12 bytes, not the
+    // 64-byte SQE — keeping every per-command event on the wheel's inline
+    // zero-allocation path even at 10^4+ outstanding commands.
+    const std::uint32_t slot = acquireSlot(sqe, qid);
     const SimTime at = fetchAt;
-    engine_->scheduleAt(at, [this, qid, sqe, at] {
-      executeCommand(qid, sqe, at);
-    });
+    engine_->scheduleAt(at, [this, slot, at] { executeCommand(slot, at); });
   }
   qp.fetchBusyUntil = fetchAt;
 }
@@ -85,23 +102,24 @@ SimTime SsdController::jitteredLatency(SimTime base, std::uint64_t key) {
                               static_cast<double>(base));
 }
 
-void SsdController::executeCommand(std::uint32_t qid, Sqe sqe,
-                                   SimTime fetchTime) {
+void SsdController::executeCommand(std::uint32_t slot, SimTime fetchTime) {
+  const Sqe sqe = inflight_[slot].sqe;
+  const std::uint32_t qid = inflight_[slot].qid;
   const auto op = static_cast<Opcode>(sqe.opcode);
   const std::uint32_t pages = sqe.nlb + 1u;
 
   if (op != Opcode::kRead && op != Opcode::kWrite && op != Opcode::kFlush) {
-    complete(qid, sqe, Status::kInvalidOpcode);
+    completeSlot(slot, Status::kInvalidOpcode);
     return;
   }
   if (op == Opcode::kFlush) {
-    engine_->scheduleAfter(cfg_.writeLatencyNs / 4, [this, qid, sqe] {
-      complete(qid, sqe, Status::kSuccess);
+    engine_->scheduleAfter(cfg_.writeLatencyNs / 4, [this, slot] {
+      completeSlot(slot, Status::kSuccess);
     });
     return;
   }
   if (sqe.slba + pages > flash_.capacityLbas()) {
-    complete(qid, sqe, Status::kLbaOutOfRange);
+    completeSlot(slot, Status::kLbaOutOfRange);
     return;
   }
 
@@ -114,10 +132,17 @@ void SsdController::executeCommand(std::uint32_t qid, Sqe sqe,
       sqe.slba ^ (static_cast<std::uint64_t>(sqe.cid) << 40) ^ qid);
   const SimTime doneAt = serviceStart + latency;
 
-  engine_->scheduleAt(doneAt, [this, qid, sqe] {
-    Status st = doDma(sqe);
-    complete(qid, sqe, st);
+  engine_->scheduleAt(doneAt, [this, slot] {
+    Status st = doDma(inflight_[slot].sqe);
+    completeSlot(slot, st);
   });
+}
+
+void SsdController::completeSlot(std::uint32_t slot, Status status) {
+  const Sqe sqe = inflight_[slot].sqe;
+  const std::uint32_t qid = inflight_[slot].qid;
+  freeSlots_.push_back(slot);
+  complete(qid, sqe, status);
 }
 
 Status SsdController::doDma(const Sqe& sqe) {

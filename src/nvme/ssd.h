@@ -103,10 +103,25 @@ class SsdController {
   std::uint64_t bytesWritten() const { return bytesWritten_; }
   std::uint64_t errorsReturned() const { return errorsReturned_; }
   std::uint64_t maxObservedOutstanding() const { return maxOutstanding_; }
+  // High-water mark of the in-flight command pool (capacity telemetry).
+  std::size_t inflightPoolSize() const { return inflight_.size(); }
 
  private:
+  // An in-flight command parked between its fetch, execute, and completion
+  // events. The 64-byte SQE lives here rather than in the timer captures,
+  // so every latency timer the controller schedules captures only
+  // {this, slot} and rides the engine's inline event payload — the wheel's
+  // O(1) schedule path with zero per-command heap allocation.
+  struct Inflight {
+    Sqe sqe;
+    std::uint32_t qid = 0;
+  };
+
+  std::uint32_t acquireSlot(const Sqe& sqe, std::uint32_t qid);
   void fetchFrom(std::uint32_t qid);
-  void executeCommand(std::uint32_t qid, Sqe sqe, SimTime fetchTime);
+  void executeCommand(std::uint32_t slot, SimTime fetchTime);
+  // Post the slot's completion and recycle it.
+  void completeSlot(std::uint32_t slot, Status status);
   void complete(std::uint32_t qid, const Sqe& sqe, Status status);
   void tryPost(QueuePair& qp);
   bool cqHasSpace(const QueuePair& qp) const;
@@ -120,6 +135,8 @@ class SsdController {
   sim::TokenBucket readBucket_;
   sim::TokenBucket writeBucket_;
   std::vector<std::unique_ptr<QueuePair>> qps_;
+  std::vector<Inflight> inflight_;
+  std::vector<std::uint32_t> freeSlots_;
   std::vector<std::uint64_t> faultLbas_;
   Rng faultRng_;
 

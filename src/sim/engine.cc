@@ -1,38 +1,234 @@
 #include "sim/engine.h"
 
 #include <algorithm>
+#include <bit>
 
 namespace agile::sim {
 
 Engine::~Engine() {
   // Destroy never-fired callbacks (they may own resources). Node memory
-  // itself belongs to the slabs.
+  // itself belongs to the slabs. Cancelled nodes already destroyed theirs.
   for (EventNode* n = readyHead_; n != nullptr; n = n->next) {
-    n->op(this, n, /*run=*/false);
+    if (n->loc != Loc::kCancelled) n->op(this, n, /*run=*/false);
   }
-  for (const HeapEntry& e : heap_) {
-    e.node->op(this, e.node, /*run=*/false);
+  for (EventNode* n = dueHead_; n != nullptr; n = n->next) {
+    if (n->loc != Loc::kCancelled) n->op(this, n, /*run=*/false);
+  }
+  for (auto& level : buckets_) {
+    for (EventNode* head : level) {
+      for (EventNode* n = head; n != nullptr; n = n->next) {
+        n->op(this, n, /*run=*/false);
+      }
+    }
+  }
+  for (const HeapEntry& e : overflow_) {
+    if (e.node->loc != Loc::kCancelled) e.node->op(this, e.node, /*run=*/false);
+  }
+}
+
+bool Engine::cancel(TimerId id) {
+  EventNode* n = static_cast<EventNode*>(id.node_);
+  // Generation check: a recycled node carries a newer seq; a fired or
+  // already-cancelled node carries loc kFree / kCancelled.
+  if (n == nullptr || n->seq != id.seq_) return false;
+  switch (n->loc) {
+    case Loc::kWheel:
+      // O(1) hlist unlink; the bucket's occupancy bit goes stale and is
+      // cleared lazily by the next scan that reaches it.
+      n->op(this, n, /*run=*/false);
+      *n->pprev = n->next;
+      if (n->next != nullptr) n->next->pprev = n->pprev;
+      --wheelCount_;
+      ++cancelled_;
+      freeNode(n);
+      return true;
+    case Loc::kReady:
+      n->op(this, n, /*run=*/false);
+      n->loc = Loc::kCancelled;
+      --readyCount_;
+      ++cancelled_;
+      return true;
+    case Loc::kDue:
+      n->op(this, n, /*run=*/false);
+      n->loc = Loc::kCancelled;
+      --dueCount_;
+      ++cancelled_;
+      return true;
+    case Loc::kOverflow:
+      n->op(this, n, /*run=*/false);
+      n->loc = Loc::kCancelled;
+      --overflowCount_;
+      ++cancelled_;
+      return true;
+    case Loc::kFree:
+    case Loc::kCancelled:
+      return false;
+  }
+  return false;
+}
+
+void Engine::cleanFronts() {
+  while (readyHead_ != nullptr && readyHead_->loc == Loc::kCancelled) {
+    EventNode* n = readyHead_;
+    readyHead_ = n->next;
+    if (readyHead_ == nullptr) readyTail_ = nullptr;
+    freeNode(n);
+  }
+  while (dueHead_ != nullptr && dueHead_->loc == Loc::kCancelled) {
+    EventNode* n = dueHead_;
+    dueHead_ = n->next;
+    freeNode(n);
+  }
+}
+
+void Engine::migrateOverflow() {
+  const std::uint64_t epoch =
+      static_cast<std::uint64_t>(now_) >> kWheelHorizonBits;
+  while (!overflow_.empty()) {
+    const HeapEntry top = overflow_.front();
+    if (top.node->loc == Loc::kCancelled) {
+      std::pop_heap(overflow_.begin(), overflow_.end(), HeapLater{});
+      overflow_.pop_back();
+      freeNode(top.node);
+      continue;
+    }
+    if ((static_cast<std::uint64_t>(top.time) >> kWheelHorizonBits) != epoch) {
+      break;
+    }
+    std::pop_heap(overflow_.begin(), overflow_.end(), HeapLater{});
+    overflow_.pop_back();
+    --overflowCount_;
+    wheelPlace(top.node, static_cast<std::uint64_t>(top.node->time) ^
+                             static_cast<std::uint64_t>(now_));
+  }
+}
+
+int Engine::findOccupied(unsigned level, std::size_t from) {
+  std::size_t w = from / 64;
+  std::uint64_t bits =
+      occupancy_[level][w] & (~std::uint64_t{0} << (from % 64));
+  for (;;) {
+    while (bits != 0) {
+      const unsigned b = static_cast<unsigned>(std::countr_zero(bits));
+      const std::size_t idx = w * 64 + b;
+      if (buckets_[level][idx] != nullptr) return static_cast<int>(idx);
+      // Bucket emptied by cancellation: drop the stale occupancy bit.
+      occupancy_[level][w] &= ~(std::uint64_t{1} << b);
+      bits &= bits - 1;
+    }
+    if (++w >= kOccWords) return -1;
+    bits = occupancy_[level][w];
+  }
+}
+
+void Engine::cascade(unsigned level, std::size_t idx) {
+  EventNode* n = buckets_[level][idx];
+  buckets_[level][idx] = nullptr;
+  occupancy_[level][idx / 64] &= ~(std::uint64_t{1} << (idx % 64));
+  // Every node here lives in this slot's [base, base + span) window, so its
+  // offset from the slot base selects the finer level.
+  const std::uint64_t span = std::uint64_t{1} << (kWheelBits * level);
+  while (n != nullptr) {
+    EventNode* next = n->next;
+    --wheelCount_;
+    wheelPlace(n, static_cast<std::uint64_t>(n->time) & (span - 1));
+    n = next;
+  }
+}
+
+void Engine::drainTick(std::size_t idx) {
+  EventNode* n = buckets_[0][idx];
+  buckets_[0][idx] = nullptr;
+  occupancy_[0][idx / 64] &= ~(std::uint64_t{1} << (idx % 64));
+  drainScratch_.clear();
+  for (; n != nullptr; n = n->next) drainScratch_.push_back(n);
+  // All nodes share one timestamp; (time, seq) order within the tick is
+  // seq order. Buckets are push-front lists touched by cascades, so sort.
+  std::sort(
+      drainScratch_.begin(), drainScratch_.end(),
+      [](const EventNode* a, const EventNode* b) { return a->seq < b->seq; });
+  AGILE_DCHECK(dueHead_ == nullptr);
+  EventNode* head = nullptr;
+  for (auto it = drainScratch_.rbegin(); it != drainScratch_.rend(); ++it) {
+    AGILE_DCHECK((*it)->time == drainScratch_.front()->time);
+    (*it)->loc = Loc::kDue;
+    (*it)->pprev = nullptr;
+    (*it)->next = head;
+    head = *it;
+  }
+  dueHead_ = head;
+  wheelCount_ -= drainScratch_.size();
+  dueCount_ += drainScratch_.size();
+}
+
+bool Engine::advanceToNextTick(SimTime limit) {
+  for (;;) {
+    migrateOverflow();
+    if (wheelCount_ == 0) {
+      if (overflow_.empty()) return false;
+      const SimTime t = overflow_.front().time;
+      if (t > limit) return false;
+      // Enter the overflow top's epoch; the next migrate pulls it (and its
+      // whole epoch) into the wheel. Nothing is pending before t.
+      now_ = t;
+      continue;
+    }
+    // Scan for the earliest pending tick, cascading coarse slots downward.
+    // `cur` tracks the earliest time still possible; it only moves to slot
+    // bases that provably precede every pending event.
+    std::uint64_t cur = static_cast<std::uint64_t>(now_);
+    unsigned level = 0;
+    while (level < kWheelLevels) {
+      const std::size_t from = (cur >> (kWheelBits * level)) & kSlotMask;
+      const int idx = findOccupied(level, from);
+      if (idx < 0) {
+        ++level;
+        continue;
+      }
+      if (level == 0) {
+        const SimTime tick = static_cast<SimTime>(
+            (cur & ~kSlotMask) | static_cast<std::uint64_t>(idx));
+        if (tick > limit) return false;
+        drainTick(static_cast<std::size_t>(idx));
+        now_ = tick;
+        return true;
+      }
+      const std::uint64_t span = std::uint64_t{1} << (kWheelBits * level);
+      const std::uint64_t base =
+          static_cast<std::uint64_t>(
+              buckets_[level][static_cast<std::size_t>(idx)]->time) &
+          ~(span - 1);
+      // Cascading re-anchors nodes at the slot base; only safe if the
+      // clock can never rest below it afterwards (see header contract).
+      if (static_cast<SimTime>(base) > limit) return false;
+      cascade(level, static_cast<std::size_t>(idx));
+      cur = base;
+      level = 0;
+    }
+    AGILE_CHECK_MSG(false, "timer wheel scan missed a pending event");
   }
 }
 
 bool Engine::step() {
+  cleanFronts();
   EventNode* n;
-  // Merge the ready queue (all at now_, FIFO == seq order) against the heap
-  // top on (time, seq) so execution order is identical to a single global
-  // heap. The heap can only tie the ready head on time, never beat it:
-  // nothing schedules in the past.
+  // Merge the ready queue (all at now_, FIFO == seq order) against the due
+  // list (this tick's timers, seq-sorted) on seq, so execution order is
+  // identical to a single global heap ordered on (time, seq).
   if (readyHead_ != nullptr &&
-      (heap_.empty() || heap_.front().time > now_ ||
-       heap_.front().seq > readyHead_->seq)) {
+      (dueHead_ == nullptr || dueHead_->seq > readyHead_->seq)) {
     n = readyHead_;
     readyHead_ = n->next;
     if (readyHead_ == nullptr) readyTail_ = nullptr;
     --readyCount_;
-  } else if (!heap_.empty()) {
-    n = heap_.front().node;
-    now_ = heap_.front().time;
-    std::pop_heap(heap_.begin(), heap_.end(), HeapLater{});
-    heap_.pop_back();
+  } else if (dueHead_ != nullptr) {
+    n = dueHead_;
+    dueHead_ = n->next;
+    --dueCount_;
+  } else if (advanceToNextTick(kSimTimeNever)) {
+    n = dueHead_;
+    dueHead_ = n->next;
+    --dueCount_;
   } else {
     return false;
   }
@@ -54,10 +250,19 @@ void Engine::runToCompletion() {
 }
 
 void Engine::runFor(SimTime deadline) {
-  // Ready events fire at now_; they are eligible whenever now_ <= deadline.
-  while ((readyHead_ != nullptr && now_ <= deadline) ||
-         (!heap_.empty() && heap_.front().time <= deadline)) {
-    step();
+  // Ready/due events fire at now_; they are eligible whenever
+  // now_ <= deadline. Timer ticks advance only up to the deadline.
+  for (;;) {
+    cleanFronts();
+    if ((readyHead_ != nullptr || dueHead_ != nullptr) && now_ <= deadline) {
+      step();
+      continue;
+    }
+    if (readyHead_ == nullptr && dueHead_ == nullptr &&
+        advanceToNextTick(deadline)) {
+      continue;  // the due list now holds that tick; fire on the next pass
+    }
+    break;
   }
   if (now_ < deadline) now_ = deadline;
 }
@@ -110,7 +315,7 @@ struct NotifyEvent {
 void WaitList::notifyAll(Engine& engine) {
   // One ready-queue event per waiter, scheduled in park order, so waiters
   // interleave with other same-timestamp events exactly as they would have
-  // when each carried its own heap entry.
+  // when each carried its own timer entry.
   while (WaitNode* n = popFront()) {
     engine.scheduleNow(NotifyEvent(n));
   }

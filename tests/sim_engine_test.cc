@@ -1,10 +1,14 @@
 // Unit tests for the DES engine, wait lists, token bucket, and sweep runner.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <array>
 #include <atomic>
+#include <cstdint>
 #include <functional>
 #include <memory>
+#include <queue>
+#include <set>
 #include <vector>
 
 #include "sim/engine.h"
@@ -339,6 +343,252 @@ TEST(WaitListTest, NotifyAllReparkersWaitForNextRound) {
   eng.runToCompletion();
   EXPECT_EQ(wakes, 2);
   EXPECT_EQ(wl.size(), 1u);
+}
+
+// --- timer-wheel regression tests ----------------------------------------
+
+// Events on exact bucket and level boundaries (slot edges, level spans,
+// the wheel horizon) fire in (time, seq) order with exact timestamps.
+TEST(EngineTest, WheelBucketBoundaryEvents) {
+  Engine eng;
+  const SimTime slot = SimTime{1} << Engine::kWheelBits;           // level-0 span
+  const SimTime level1 = SimTime{1} << (2 * Engine::kWheelBits);   // level-1 span
+  const SimTime horizon = SimTime{1} << Engine::kWheelHorizonBits;
+  const std::vector<SimTime> times = {
+      1,          slot - 1,   slot,       slot + 1,    level1 - 1,
+      level1,     level1 + 1, horizon - 1, horizon,    horizon + 1,
+      2 * horizon};
+  std::vector<SimTime> fired;
+  // Schedule in shuffled order; must fire in time order.
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    const SimTime t = times[(i * 7) % times.size()];
+    eng.scheduleAt(t, [&fired, &eng] { fired.push_back(eng.now()); });
+  }
+  eng.runToCompletion();
+  ASSERT_EQ(fired.size(), times.size());
+  std::vector<SimTime> want = times;
+  std::sort(want.begin(), want.end());
+  EXPECT_EQ(fired, want);
+}
+
+// A cascade at level rollover must preserve both firing times and the seq
+// tie-break for events that land on the same tick from different levels.
+TEST(EngineTest, CascadeAtLevelRolloverKeepsOrder) {
+  Engine eng;
+  const SimTime slot = SimTime{1} << Engine::kWheelBits;
+  std::vector<int> order;
+  // A sits one level up (beyond the level-0 span); B fires first, then
+  // schedules C for A's exact timestamp. A (older seq) must beat C.
+  eng.scheduleAt(2 * slot + 5, [&] { order.push_back(1); });  // seq 0
+  eng.scheduleAt(3, [&] {                                     // seq 1
+    order.push_back(0);
+    eng.scheduleAt(2 * slot + 5, [&] { order.push_back(2); });
+  });
+  eng.runToCompletion();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(eng.now(), 2 * slot + 5);
+}
+
+// cancel() semantics: pending events die exactly once, fired events and
+// recycled handles are safe no-ops, and a reused slab node does not honor
+// a stale handle (generation check).
+TEST(EngineTest, CancelThenRescheduleReusesNodeSafely) {
+  Engine eng;
+  int fired = 0;
+  TimerId a = eng.scheduleAt(10, [&] { ++fired; });
+  EXPECT_TRUE(static_cast<bool>(a));
+  EXPECT_EQ(eng.pendingEvents(), 1u);
+  EXPECT_TRUE(eng.cancel(a));
+  EXPECT_FALSE(eng.cancel(a));  // double cancel
+  EXPECT_EQ(eng.pendingEvents(), 0u);
+  EXPECT_TRUE(eng.idle());
+  // The cancelled wheel node is recycled immediately; the next schedule
+  // reuses it. The stale handle must not kill the new event.
+  TimerId b = eng.scheduleAt(20, [&] { ++fired; });
+  EXPECT_FALSE(eng.cancel(a));
+  eng.runToCompletion();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(eng.cancel(b));  // already fired
+  EXPECT_EQ(eng.cancelledEvents(), 1u);
+}
+
+// Cancelling ready-queue and overflow-heap events (the lazily reclaimed
+// locations) releases their callbacks and never fires them.
+TEST(EngineTest, CancelReadyAndOverflowEvents) {
+  auto token = std::make_shared<int>(0);
+  Engine eng;
+  const SimTime horizon = SimTime{1} << Engine::kWheelHorizonBits;
+  int fired = 0;
+  TimerId ready = eng.scheduleNow([&fired, keep = token] { ++fired; });
+  TimerId far = eng.scheduleAt(2 * horizon, [&fired, keep = token] { ++fired; });
+  EXPECT_EQ(token.use_count(), 3);
+  EXPECT_TRUE(eng.cancel(ready));
+  EXPECT_TRUE(eng.cancel(far));
+  EXPECT_EQ(token.use_count(), 1);  // callbacks destroyed at cancel time
+  EXPECT_TRUE(eng.idle());
+  eng.scheduleAt(5, [&fired] { ++fired; });
+  eng.runToCompletion();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(eng.now(), 5);
+}
+
+// Overflow-heap handoff: events beyond the wheel horizon migrate into the
+// wheel when the clock enters their epoch and interleave correctly with
+// near-future events scheduled later.
+TEST(EngineTest, OverflowHeapHandoff) {
+  Engine eng;
+  const SimTime horizon = SimTime{1} << Engine::kWheelHorizonBits;
+  std::vector<int> order;
+  eng.scheduleAt(3 * horizon + 7, [&] { order.push_back(3); });
+  eng.scheduleAt(horizon + 1, [&] {
+    order.push_back(1);
+    // Near-future event in the new epoch, earlier than the far one.
+    eng.scheduleAfter(5, [&] { order.push_back(2); });
+  });
+  eng.scheduleAt(2, [&] { order.push_back(0); });
+  EXPECT_EQ(eng.pendingEvents(), 3u);
+  eng.runToCompletion();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(eng.now(), 3 * horizon + 7);
+}
+
+// runFor must not fire wheel/overflow events past the deadline even when
+// the deadline sits inside an otherwise-empty stretch of the wheel.
+TEST(EngineTest, RunForStopsInsideWheelGaps) {
+  Engine eng;
+  const SimTime slot = SimTime{1} << Engine::kWheelBits;
+  const SimTime horizon = SimTime{1} << Engine::kWheelHorizonBits;
+  int fired = 0;
+  eng.scheduleAt(2, [&] { ++fired; });
+  eng.scheduleAt(3 * slot, [&] { ++fired; });
+  eng.scheduleAt(horizon + 9, [&] { ++fired; });
+  eng.runFor(slot);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(eng.now(), slot);
+  EXPECT_EQ(eng.pendingEvents(), 2u);
+  eng.runFor(horizon);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(eng.now(), horizon);
+  eng.runToCompletion();
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(eng.now(), horizon + 9);
+}
+
+// Destroying the engine with events parked in every structure (ready,
+// wheel, overflow) still releases all callbacks.
+TEST(EngineTest, DestructorReleasesWheelAndOverflowCallbacks) {
+  auto token = std::make_shared<int>(0);
+  {
+    Engine eng;
+    const SimTime horizon = SimTime{1} << Engine::kWheelHorizonBits;
+    eng.scheduleNow([keep = token] {});
+    eng.scheduleAt(100, [keep = token] {});
+    eng.scheduleAt(5 * horizon, [keep = token] {});
+    EXPECT_EQ(token.use_count(), 4);
+  }
+  EXPECT_EQ(token.use_count(), 1);
+}
+
+// Randomized cross-check: the wheel engine's execution order must match a
+// straightforward (time, seq) priority-queue reference on a trace mixing
+// every delay magnitude, zero-delay events, and cancellations.
+TEST(EngineTest, RandomizedTraceMatchesReferenceOrder) {
+  // Reference: lazy-cancel binary heap over (time, seq).
+  struct RefEngine {
+    struct Ev {
+      SimTime time;
+      std::uint64_t seq;
+      std::function<void()> fn;
+      bool operator<(const Ev& o) const {  // reversed for min-top
+        return time != o.time ? time > o.time : seq > o.seq;
+      }
+    };
+    SimTime now = 0;
+    std::uint64_t nextSeq = 0;
+    std::priority_queue<Ev> q;
+    std::set<std::uint64_t> live, dead;
+    std::uint64_t schedule(SimTime t, std::function<void()> fn) {
+      const std::uint64_t s = nextSeq++;
+      live.insert(s);
+      q.push(Ev{t, s, std::move(fn)});
+      return s;
+    }
+    bool cancel(std::uint64_t s) {
+      if (live.erase(s) == 0) return false;
+      dead.insert(s);
+      return true;
+    }
+    void run() {
+      while (!q.empty()) {
+        Ev ev = std::move(const_cast<Ev&>(q.top()));
+        q.pop();
+        if (dead.erase(ev.seq) != 0) continue;
+        live.erase(ev.seq);
+        now = ev.time;
+        ev.fn();
+      }
+    }
+  };
+
+  const int kOps = 4000;
+  std::uint64_t rng = 12345;
+  auto next = [&rng] {
+    rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+    return rng >> 16;
+  };
+  auto delayFor = [](std::uint64_t r) {
+    // Mix of magnitudes: zero-delay, sub-slot, cross-level, past-horizon.
+    const unsigned exp = static_cast<unsigned>(r % 36);
+    return static_cast<SimTime>((std::uint64_t{1} << exp) % (1ull << 35)) +
+           static_cast<SimTime>((r >> 8) % 3);
+  };
+
+  std::vector<std::uint64_t> wheelTrace, refTrace;
+  {
+    Engine eng;
+    std::vector<TimerId> handles;
+    std::uint64_t localRng = rng;
+    std::uint64_t id = 0;
+    std::function<void()> op = [&] {
+      wheelTrace.push_back(id);
+      const std::uint64_t r =
+          (localRng = localRng * 6364136223846793005ull + 1442695040888963407ull) >> 16;
+      if (id++ < kOps) {
+        if (r % 5 == 0 && !handles.empty()) {
+          const bool hit = eng.cancel(handles[r % handles.size()]);
+          wheelTrace.push_back(hit ? 1u : 2u);
+        }
+        handles.push_back(eng.scheduleAfter(delayFor(r), op));
+        handles.push_back(eng.scheduleAfter(delayFor(r >> 3), op));
+        if (handles.size() > 64) handles.erase(handles.begin());
+      }
+    };
+    eng.scheduleNow(op);
+    eng.runToCompletion();
+  }
+  {
+    RefEngine eng;
+    std::vector<std::uint64_t> handles;
+    std::uint64_t localRng = rng;
+    std::uint64_t id = 0;
+    std::function<void()> op = [&] {
+      refTrace.push_back(id);
+      const std::uint64_t r =
+          (localRng = localRng * 6364136223846793005ull + 1442695040888963407ull) >> 16;
+      if (id++ < kOps) {
+        if (r % 5 == 0 && !handles.empty()) {
+          const bool hit = eng.cancel(handles[r % handles.size()]);
+          refTrace.push_back(hit ? 1u : 2u);
+        }
+        handles.push_back(eng.schedule(eng.now + delayFor(r), op));
+        handles.push_back(eng.schedule(eng.now + delayFor(r >> 3), op));
+        if (handles.size() > 64) handles.erase(handles.begin());
+      }
+    };
+    eng.schedule(0, op);
+    eng.run();
+  }
+  EXPECT_EQ(wheelTrace, refTrace);
 }
 
 TEST(TokenBucketTest, BurstCompletesImmediately) {

@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""Fold BENCH_*.json artifacts into a per-commit events/sec trendline.
+
+CI runs this after the quick bench suite:
+
+    python3 tools/perf_trendline.py bench-results \
+        --history .perf/history.jsonl --commit "$GITHUB_SHA" \
+        >> "$GITHUB_STEP_SUMMARY"
+
+It appends one JSON line per (commit, bench) to the history file (kept
+across runs via actions/cache) and prints a GitHub-flavored markdown table
+of events/sec per workload for the most recent commits, so performance
+regressions are visible in the job summary before they compound.
+
+Stdlib only; also usable locally:  python3 tools/perf_trendline.py .
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+
+def load_results(results_dir):
+    """Read every BENCH_*.json under results_dir into {bench: payload}."""
+    out = {}
+    for path in sorted(glob.glob(os.path.join(results_dir, "BENCH_*.json"))):
+        try:
+            with open(path) as f:
+                payload = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"warning: skipping {path}: {e}", file=sys.stderr)
+            continue
+        bench = payload.get("bench") or os.path.basename(path)
+        out[bench] = payload
+    return out
+
+
+def summarize(payload):
+    """Flatten one bench payload into {workload: events_per_sec} + geomean."""
+    flat = {}
+    for w in payload.get("workloads", []):
+        eps = w.get("new_events_per_sec")
+        if eps is not None:
+            flat[w["name"]] = float(eps)
+    return {
+        "workloads": flat,
+        "geomean_speedup": payload.get("geomean_speedup"),
+        "quick": payload.get("quick"),
+    }
+
+
+def append_history(history_path, commit, benches):
+    os.makedirs(os.path.dirname(history_path) or ".", exist_ok=True)
+    with open(history_path, "a") as f:
+        for bench, payload in benches.items():
+            row = {"commit": commit, "bench": bench}
+            row.update(summarize(payload))
+            f.write(json.dumps(row, sort_keys=True) + "\n")
+
+
+def read_history(history_path):
+    """Read history rows, keeping only the latest row per (commit, bench).
+
+    CI can run the same SHA more than once (push + pull_request, manual
+    re-runs); the file is append-only, so dedupe here rather than at
+    append time.
+    """
+    rows = []
+    if history_path and os.path.exists(history_path):
+        with open(history_path) as f:
+            for line in f:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    rows.append(json.loads(line))
+                except json.JSONDecodeError:
+                    continue
+    latest = {}
+    for i, r in enumerate(rows):
+        latest[(r.get("commit"), r.get("bench"))] = i
+    return [r for i, r in enumerate(rows)
+            if latest[(r.get("commit"), r.get("bench"))] == i]
+
+
+def fmt_eps(eps):
+    return f"{eps / 1e6:.2f}" if eps is not None else "—"
+
+
+def emit_table(rows, bench, limit):
+    """Markdown trendline for one bench: rows = commits, cols = workloads."""
+    rows = [r for r in rows if r.get("bench") == bench][-limit:]
+    if not rows:
+        return
+    workloads = []
+    for r in rows:
+        for name in r.get("workloads", {}):
+            if name not in workloads:
+                workloads.append(name)
+    print(f"### {bench}: events/sec trendline (Mev/s)")
+    print()
+    header = ["commit", "quick"] + workloads + ["geomean speedup"]
+    print("| " + " | ".join(header) + " |")
+    print("|" + "---|" * len(header))
+    for r in rows:
+        commit = (r.get("commit") or "?")[:9]
+        quick = "yes" if r.get("quick") else "no"
+        cells = [fmt_eps(r["workloads"].get(w)) for w in workloads]
+        gm = r.get("geomean_speedup")
+        gm = f"x{gm:.2f}" if gm is not None else "—"
+        print("| " + " | ".join([f"`{commit}`", quick] + cells + [gm]) + " |")
+    print()
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("results_dir", help="directory containing BENCH_*.json")
+    ap.add_argument("--history", help="JSONL history file to append to / read")
+    ap.add_argument("--commit", default="local", help="commit SHA for the row")
+    ap.add_argument("--limit", type=int, default=20,
+                    help="commits to show per bench (default 20)")
+    args = ap.parse_args()
+
+    benches = load_results(args.results_dir)
+    if not benches:
+        print(f"error: no BENCH_*.json in {args.results_dir}", file=sys.stderr)
+        return 1
+
+    if args.history:
+        append_history(args.history, args.commit, benches)
+        rows = read_history(args.history)
+    else:
+        rows = [{"commit": args.commit, "bench": b, **summarize(p)}
+                for b, p in benches.items()]
+
+    for bench in sorted({r.get("bench") for r in rows if r.get("bench")}):
+        emit_table(rows, bench, args.limit)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
