@@ -1,6 +1,6 @@
 // Events/sec harness for the DES hot path.
 //
-// Runs seven synthetic event workloads — chosen to mirror how the figure
+// Runs eight synthetic event workloads — chosen to mirror how the figure
 // benches actually load the engine — against (a) the production wheel/slab/
 // ready-queue engine in sim/engine.h and (b) a faithful copy of the
 // pre-refactor engine (std::function events on a std::priority_queue with
@@ -19,6 +19,9 @@
 //   timer_cancel  schedule-then-cancel churn over a sliding window (the
 //                 speculative-prefetch / timeout-arm pattern: most timers
 //                 are cancelled before they fire).
+//   async_pipeline K request chains mixing latency timers, WaitList wakes
+//                 and speculative arm/cancel pairs (the IoToken submit /
+//                 wait / cancel surface of core/ctrl.h at engine level).
 //   zero_delay    fan of scheduleAfter(0, ...) cascades (the notify/wakeup
 //                 pattern: ready-queue fast path vs heap).
 //   notify_one    a service-like FIFO hand-off chain over one big WaitList
@@ -307,6 +310,78 @@ std::uint64_t timerCancel(E& eng, std::uint64_t rounds, std::uint64_t window,
   return eng.executedEvents();
 }
 
+// Token-pipeline pattern (the ctrl's async surface at engine level): K
+// independent request chains; each round schedules a "device latency" timer
+// whose completion wakes a consumer parked on a WaitList (the barrier-wake
+// path), and every other round arms a speculative timer that is cancelled
+// two rounds later — the submitPrefetch/cancel window. Cancel verdicts and
+// stray speculative fires fold into the hash, so both engines must agree on
+// exactly which speculations survived.
+template <class E, class WL>
+std::uint64_t asyncPipeline(E& eng, std::uint64_t rounds,
+                            std::uint64_t chains, std::uint64_t* hash) {
+  struct Spec {
+    std::uint64_t* hash;
+    std::uint64_t id;
+    void operator()() const { *hash = *hash * kFnv ^ (0x5becull + id); }
+  };
+  using Id = decltype(scheduleCancellable(eng, SimTime{1}, Spec{nullptr, 0}));
+
+  struct Shared {
+    E* eng;
+    WL* ready;
+    std::uint64_t* remaining;
+    std::uint64_t* hash;
+    std::vector<Id>* specRing;
+  };
+
+  struct Request {
+    Shared* sh;
+    std::uint64_t chain;
+    std::uint64_t rng;
+    std::uint64_t round;
+
+    void operator()() {
+      Shared& s = *sh;
+      *s.hash = *s.hash * kFnv ^ (chain * 131 + round);
+      if (*s.remaining == 0) return;
+      --*s.remaining;
+      rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+      // Speculative arm/cancel window over a per-chain 2-slot ring.
+      const std::size_t slot = static_cast<std::size_t>(chain * 2 + round % 2);
+      if (round >= 2) {
+        const bool hit = s.eng->cancel((*s.specRing)[slot]);
+        *s.hash = *s.hash * kFnv ^ (hit ? 0xCA11ull : 0xF1EDull);
+      }
+      if (round % 2 == 0) {
+        (*s.specRing)[slot] = scheduleCancellable(
+            *s.eng, 2 + static_cast<SimTime>((rng >> 40) % 701),
+            Spec{s.hash, chain * 977 + round});
+      }
+      // Completion wakes the parked consumer, which re-issues next round
+      // (the waitBuf -> barrier-notify -> resubmit path).
+      rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+      const SimTime latency = 1 + static_cast<SimTime>((rng >> 33) % 509);
+      Request next{*this};
+      ++next.round;
+      s.ready->park(std::move(next));
+      s.eng->scheduleAfter(latency,
+                           [sh = this->sh] { sh->ready->notifyOne(*sh->eng); });
+    }
+  };
+
+  WL ready;
+  std::uint64_t remaining = rounds;
+  std::vector<Id> specRing(chains * 2);
+  Shared sh{&eng, &ready, &remaining, hash, &specRing};
+  for (std::uint64_t c = 0; c < chains; ++c) {
+    eng.scheduleAfter(1 + static_cast<SimTime>(c % 61),
+                      Request{&sh, c, c * 0x9e3779b97f4a7c15ull + 7, 0});
+  }
+  eng.runToCompletion();
+  return eng.executedEvents();
+}
+
 // Fan of zero-delay cascades: the scheduleAfter(0, ...) wake path.
 template <class E>
 struct Cascade {
@@ -555,6 +630,16 @@ int main(int argc, char** argv) {
       },
       [&](sim::Engine& e, std::uint64_t* h) {
         return timerCancel(e, cancelRounds, 4096, h);
+      }));
+  results.push_back(measure(
+      "async_pipeline", reps,
+      [&](LegacyEngine& e, std::uint64_t* h) {
+        return asyncPipeline<LegacyEngine, LegacyWaitList>(e, cancelRounds,
+                                                           1024, h);
+      },
+      [&](sim::Engine& e, std::uint64_t* h) {
+        return asyncPipeline<sim::Engine, sim::WaitList>(e, cancelRounds, 1024,
+                                                         h);
       }));
   results.push_back(measure(
       "zero_delay", reps,

@@ -4,6 +4,7 @@
 // is unavailable in this reproduction, so the counts are modeled, not
 // compiled). Paper: BaM 56/56/74 vs AGILE 54/46/56; service kernel 37.
 #include <cstdio>
+#include <cstring>
 
 #include "bench/bench_util.h"
 #include "gpu/exec.h"
@@ -25,7 +26,12 @@ constexpr std::uint32_t kSpmvBase = 40;
 
 }  // namespace
 
-int main(int, char**) {
+int main(int argc, char** argv) {
+  // --all additionally prints the token/batch/gather paths of the async API
+  // redesign; the default output is the paper's figure, byte-stable.
+  bool all = false;
+  for (int i = 1; i < argc; ++i) all |= std::strcmp(argv[i], "--all") == 0;
+
   bench::printHeader("Figure 12",
                      "modeled per-thread register usage across CUDA kernels");
 
@@ -71,5 +77,28 @@ int main(int, char**) {
   table.print();
   std::printf("AGILE service kernel: %u registers/thread (paper: 37)\n",
               gpu::serviceKernelRegisters());
+
+  if (all) {
+    // Footprints of the unified async surface (no paper counterpart —
+    // audited from core/ctrl.h like the original rows).
+    const gpu::IoApiPath extra[] = {
+        gpu::IoApiPath::kAgileTokenRead,
+        gpu::IoApiPath::kAgileTokenPrefetch,
+        gpu::IoApiPath::kAgileBatchSubmit,
+        gpu::IoApiPath::kAgileGatherPipelined,
+    };
+    TablePrinter ext({"API path", "footprint (32-bit words)",
+                      "SpMV-body regs", "occupancy (blocks/SM)"});
+    for (auto p : extra) {
+      const auto regs = gpu::kernelRegisters(kSpmvBase, {p});
+      gpu::LaunchConfig lc{.gridDim = 1, .blockDim = 256,
+                           .regsPerThread = regs};
+      ext.addRow({gpu::ioApiPathName(p),
+                  std::to_string(gpu::ioApiFootprint(p)),
+                  std::to_string(regs),
+                  std::to_string(gpu.occupancyBlocksPerSm(lc))});
+    }
+    ext.print();
+  }
   return 0;
 }

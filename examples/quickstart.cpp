@@ -2,7 +2,10 @@
 // configure a host, add NVMe devices, initialize queues in (simulated) HBM,
 // start the service kernel, and use all three device-side access methods
 // from a GPU kernel: prefetch, async_issue with a user buffer, and the
-// array-like synchronous view. Build target: examples/quickstart.
+// array-like synchronous view — plus the unified token surface: a batched
+// submit covered by one SQ doorbell, a poll/wait pipeline on IoTokens, and
+// a speculative prefetch cancelled before it ever reaches the SSD. Build
+// target: examples/quickstart.
 #include <cstdio>
 
 #include "core/ctrl.h"
@@ -34,12 +37,19 @@ int main() {
   auto* words = reinterpret_cast<std::uint64_t*>(page);
   for (int i = 0; i < 8; ++i) words[i] = 1000 + i;
   host.ssd(0).flash().writePage(/*lba=*/7, page);
+  words[0] = 2000;
+  host.ssd(0).flash().writePage(/*lba=*/8, page);
 
-  // A device buffer for the async_issue path.
+  // Device buffers for the async_issue and token paths.
   auto* bufMem = host.gpu().hbm().allocBytes(nvme::kLbaBytes);
   core::AgileBuf buf(bufMem);
+  auto* tokMem = host.gpu().hbm().allocBytes(nvme::kLbaBytes);
+  core::AgileBuf tokBuf(tokMem);
 
   std::uint64_t viaArray = 0, viaBuffer = 0, viaPrefetch = 0;
+  std::uint64_t viaBatch = 0;
+  std::uint64_t pollSpins = 0;
+  bool specCancelled = false;
 
   // --- device-side kernel (Listing 1 lines 3-20) ---
   const bool ok = host.runKernel(
@@ -67,6 +77,28 @@ int main() {
           // Writes go through the same cache coherently.
           co_await ctrl.arrayWrite<std::uint64_t>(ctx, 0, 7 * 512 + 4,
                                                   4242, chain);
+
+          // Method 4: the unified token surface. A batch submits N
+          // descriptors with one resolve pass and a single SQ doorbell;
+          // the returned IoToken is polled (non-blocking) and awaited.
+          core::AgileBufPtr tokPtr(tokBuf);
+          core::IoBatch batch;
+          batch.addRead(0, 8, tokPtr);     // page 8 -> tokBuf
+          batch.addPrefetch(0, 9);         // warm page 9 in the cache
+          core::IoToken bt = co_await ctrl.submitBatch(ctx, batch, chain);
+          while (ctrl.poll(ctx, bt) == core::IoStatus::kPending) {
+            ++pollSpins;  // overlap window: compute would go here
+            co_await ctx.backoff(2000);
+          }
+          AGILE_CHECK(co_await ctrl.wait(ctx, bt));
+          viaBatch = tokPtr.as<std::uint64_t>()[0];
+
+          // Speculative prefetch: the SSD command is deferred on the timer
+          // wheel; cancelling inside the window costs O(1) and issues no
+          // SSD read at all (the claimed cache line is released too).
+          core::IoToken spec = co_await ctrl.submitPrefetch(
+              ctx, 0, /*lba=*/99, chain, /*speculativeDelayNs=*/50000);
+          specCancelled = ctrl.cancel(ctx, spec);
         }
         co_return;
       });
@@ -81,12 +113,19 @@ int main() {
               (unsigned long long)viaBuffer);
   std::printf("array read          : %llu (expect 1003)\n",
               (unsigned long long)viaArray);
-  std::printf("cache hits=%llu misses=%llu, SSD reads=%llu\n",
+  std::printf("batch token read    : %llu (expect 2000, %llu poll spins)\n",
+              (unsigned long long)viaBatch, (unsigned long long)pollSpins);
+  std::printf("speculative cancel  : %s (no SSD read issued)\n",
+              specCancelled ? "ok" : "FAILED");
+  std::printf("cache hits=%llu misses=%llu, SSD reads=%llu, "
+              "batch doorbells=%llu, cancelled prefetches=%llu\n",
               (unsigned long long)ctrl.cache().stats().hits,
               (unsigned long long)ctrl.cache().stats().misses,
-              (unsigned long long)host.ssd(0).readsCompleted());
+              (unsigned long long)host.ssd(0).readsCompleted(),
+              (unsigned long long)ctrl.stats().batchDoorbells,
+              (unsigned long long)ctrl.stats().prefetchCancelled);
   const bool pass = viaPrefetch == 1001 && viaBuffer == 1002 &&
-                    viaArray == 1003;
+                    viaArray == 1003 && viaBatch == 2000 && specCancelled;
   std::printf("%s\n", pass ? "QUICKSTART OK" : "QUICKSTART FAILED");
   return pass ? 0 : 1;
 }

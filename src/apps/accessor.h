@@ -2,10 +2,13 @@
 // kernel (BFS, SpMV, vector-mean, DLRM gather) run unchanged over
 //   - NativeAccessor : data resident in HBM (the "Kernel time" baseline of
 //                      the §4.5 three-step methodology),
-//   - AgileAccessor  : AGILE's synchronous array API,
+//   - AgileAccessor  : AGILE's synchronous array API plus the asynchronous
+//                      token surface (readAsync / gather / prefetch-ahead),
 //   - BamAccessor    : BaM's synchronous reads.
 // This mirrors how the paper swaps the underlying I/O library while keeping
-// kernels identical for fair API-overhead comparison.
+// kernels identical for fair API-overhead comparison. Kernels detect the
+// asynchronous capabilities through the PrefetchableAccessor concept, so
+// the pipelined paths compile away for backends without them.
 #pragma once
 
 #include <cstdint>
@@ -13,11 +16,20 @@
 
 #include "bam/bam_ctrl.h"
 #include "core/ctrl.h"
+#include "core/io_token.h"
 #include "core/lock.h"
 #include "gpu/exec.h"
 #include "gpu/regmodel.h"
 
 namespace agile::apps {
+
+// Accessors that can warm the software cache ahead of a synchronous read
+// from divergent lanes (the depth-K pipelined kernels key off this).
+template <class Acc>
+concept PrefetchableAccessor =
+    requires(Acc a, gpu::KernelCtx& ctx, core::AgileLockChain& chain) {
+      a.prefetchElemDivergent(ctx, std::uint64_t{}, chain);
+    };
 
 // Data resident in simulated HBM; charges only the plain word-access cost.
 template <class T>
@@ -37,7 +49,9 @@ class NativeAccessor {
   std::span<const T> data_;
 };
 
-// AGILE synchronous array view over one SSD.
+// AGILE array view over one SSD: synchronous reads plus the asynchronous
+// token surface. All element->page math goes through core::elemAddr so the
+// sync and async paths cannot drift.
 template <class T, class Ctrl = core::DefaultCtrl>
 class AgileAccessor {
  public:
@@ -48,15 +62,75 @@ class AgileAccessor {
     co_return co_await ctrl_->template arrayRead<T>(ctx, dev_, idx, chain);
   }
 
+  // Warp-converged prefetch of the page holding element `idx` (first-level
+  // coalescing elects a leader; requires converged lanes).
   gpu::GpuTask<void> prefetchElem(gpu::KernelCtx& ctx, std::uint64_t idx,
                                   core::AgileLockChain& chain) {
-    const std::uint64_t lba = idx * sizeof(T) / nvme::kLbaBytes;
-    co_await ctrl_->prefetch(ctx, dev_, lba, chain);
+    co_await ctrl_->prefetch(ctx, dev_, core::elemAddr<T>(idx).lba, chain);
+  }
+
+  // Divergence-safe prefetch (no warp collective) for per-row pipelines.
+  gpu::GpuTask<void> prefetchElemDivergent(gpu::KernelCtx& ctx,
+                                           std::uint64_t idx,
+                                           core::AgileLockChain& chain) {
+    co_await ctrl_->prefetchDivergent(ctx, dev_, core::elemAddr<T>(idx).lba,
+                                      chain);
+  }
+
+  // Speculative prefetch with a cancellation window: the SSD command is
+  // deferred `delayNs` on the timer wheel; ctrl().cancel(ctx, token) aborts
+  // it with no SSD traffic while the window is open.
+  gpu::GpuTask<core::IoToken> prefetchElemSpeculative(
+      gpu::KernelCtx& ctx, std::uint64_t idx, core::AgileLockChain& chain,
+      SimTime delayNs) {
+    co_return co_await ctrl_->submitPrefetch(
+        ctx, dev_, core::elemAddr<T>(idx).lba, chain, delayNs);
+  }
+
+  // Token-based async read of the whole page holding element `idx` into a
+  // caller buffer. Pair with elemSlot(idx) to locate the element in the
+  // page: buf.as<T>()[AgileAccessor<T>::elemSlot(idx)].
+  gpu::GpuTask<core::IoToken> readAsync(gpu::KernelCtx& ctx,
+                                        std::uint64_t idx,
+                                        core::AgileBufPtr& buf,
+                                        core::AgileLockChain& chain) {
+    co_return co_await ctrl_->submitRead(ctx, dev_,
+                                         core::elemAddr<T>(idx).lba, buf,
+                                         chain);
+  }
+
+  // Element slot within its page (pairs with readAsync).
+  static constexpr std::uint32_t elemSlot(std::uint64_t idx) {
+    return core::elemAddr<T>(idx).byteOff / sizeof(T);
+  }
+
+  // Depth-K pipelined gather: the prefetch of idxs[i + depth] overlaps the
+  // synchronous read of idxs[i], so SSD latency hides behind the reads
+  // instead of serializing per element. depth == 0 degenerates to the plain
+  // synchronous loop (the comparison baseline).
+  gpu::GpuTask<void> gather(gpu::KernelCtx& ctx,
+                            std::span<const std::uint64_t> idxs,
+                            std::span<T> out, core::AgileLockChain& chain,
+                            std::uint32_t depth = 8) {
+    const std::size_t n = idxs.size();
+    std::size_t ahead = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (depth > 0) {
+        for (; ahead < n && ahead < i + depth; ++ahead) {
+          co_await ctrl_->prefetchDivergent(
+              ctx, dev_, core::elemAddr<T>(idxs[ahead]).lba, chain);
+        }
+      }
+      out[i] = co_await ctrl_->template arrayRead<T>(ctx, dev_, idxs[i],
+                                                     chain);
+    }
   }
 
   Ctrl& ctrl() { return *ctrl_; }
 
   static constexpr gpu::IoApiPath kRegPath = gpu::IoApiPath::kAgileArrayRead;
+  static constexpr gpu::IoApiPath kGatherRegPath =
+      gpu::IoApiPath::kAgileGatherPipelined;
 
  private:
   Ctrl* ctrl_;

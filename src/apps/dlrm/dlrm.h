@@ -88,11 +88,15 @@ enum class DlrmMode { kBam, kAgileSync, kAgileAsync };
 // untimed cache-warming iterations, mirroring the steady state the paper's
 // 10,000-epoch runs measure); gathers go through `ctrl` (AGILE modes) or
 // `bamCtrl` (BaM mode) on `host`. AgileCtrlT is any AgileCtrl instantiation.
+// gatherDepth > 0 (AGILE modes only) pipelines each thread's embedding
+// gather with depth-K prefetch-ahead; 0 reproduces the paper's per-row
+// blocking gather exactly.
 template <class AgileCtrlT>
 DlrmRunResult runDlrm(core::AgileHost& host, const DlrmConfig& cfg,
                       DlrmTrace& trace, DlrmMode mode, AgileCtrlT* ctrl,
                       bam::DefaultBamCtrl* bamCtrl, std::uint32_t batch,
-                      std::uint32_t epochs, std::uint32_t warmupEpochs = 1);
+                      std::uint32_t epochs, std::uint32_t warmupEpochs = 1,
+                      std::uint32_t gatherDepth = 0);
 
 // Gather kernel body shared by the runners (declared here for tests).
 // Reads one word of each sample's embedding rows and charges the row-copy

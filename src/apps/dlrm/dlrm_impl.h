@@ -30,7 +30,8 @@ template <class AgileCtrlT>
 DlrmRunResult runDlrm(core::AgileHost& host, const DlrmConfig& cfg,
                       DlrmTrace& trace, DlrmMode mode, AgileCtrlT* ctrl,
                       bam::DefaultBamCtrl* bamCtrl, std::uint32_t batch,
-                      std::uint32_t epochs, std::uint32_t warmupEpochs) {
+                      std::uint32_t epochs, std::uint32_t warmupEpochs,
+                      std::uint32_t gatherDepth) {
   AGILE_CHECK(mode == DlrmMode::kBam ? bamCtrl != nullptr : ctrl != nullptr);
   const std::uint32_t dev = cfg.embeddingDev;
   const std::uint32_t tables = cfg.numTables;
@@ -54,6 +55,10 @@ DlrmRunResult runDlrm(core::AgileHost& host, const DlrmConfig& cfg,
   std::vector<std::uint64_t> cur = trace.epochRows(0, batch);
 
   // Gather: one thread per sample; each reads its `tables` embedding rows.
+  // With gatherDepth > 0 (AGILE modes), each thread runs a depth-K pipeline
+  // over its own (sample, table) sequence: the page of the row `gatherDepth`
+  // positions ahead is prefetched while the current row is read, so the
+  // embedding gather overlaps SSD latency instead of blocking per row.
   auto makeGather = [&](const std::vector<std::uint64_t>& rows) {
     return [&, rowsPtr = rows.data()](
                gpu::KernelCtx& ctx) -> gpu::GpuTask<void> {
@@ -62,6 +67,18 @@ DlrmRunResult runDlrm(core::AgileHost& host, const DlrmConfig& cfg,
       for (std::uint32_t s = ctx.globalThreadIdx(); s < batch; s += stride) {
         for (std::uint32_t t = 0; t < tables; ++t) {
           ctx.charge(cost::kWordAccess);  // trace lookup
+          if (mode != DlrmMode::kBam && gatherDepth > 0) {
+            // Lookahead position within this thread's gather sequence.
+            const std::uint32_t tAhead = t + gatherDepth;
+            const std::uint32_t sAhead = s + (tAhead / tables) * stride;
+            if (sAhead < batch) {
+              ctx.charge(cost::kWordAccess);  // lookahead trace lookup
+              const std::uint64_t rowAhead =
+                  rowsPtr[sAhead * tables + tAhead % tables];
+              co_await ctrl->prefetchDivergent(
+                  ctx, dev, detail::rowToLba(cfg, rowAhead), chain);
+            }
+          }
           const std::uint64_t row = rowsPtr[s * tables + t];
           const std::uint64_t elem = detail::rowToElem(cfg, row);
           std::uint64_t word;

@@ -7,6 +7,7 @@
 // array. A CPU reference implementation validates results in tests.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <limits>
 #include <span>
@@ -26,20 +27,44 @@ std::vector<std::uint32_t> bfsReference(const CsrGraph& g,
                                         std::uint32_t source);
 
 // One BFS level: threads expand frontier vertices (dist == level); sets
-// *anyUpdate when a new vertex is discovered.
+// *anyUpdate when a new vertex is discovered. With prefetchDepth > 0 and an
+// accessor that supports divergence-safe prefetch, the frontier expansion
+// runs a depth-K pipeline: the page of edge e + depth is prefetched while
+// edge e is read, so SSD latency overlaps the adjacency scan instead of
+// blocking per element (§3.4 / Listing 1 intent). Depth 0 is the exact
+// synchronous path used by the figure benches.
 template <class ColAcc>
 gpu::GpuTask<void> bfsLevelKernel(gpu::KernelCtx& ctx,
                                   std::span<const std::uint64_t> rowPtr,
                                   ColAcc& colAcc,
                                   std::span<std::uint32_t> dist,
-                                  std::uint32_t level, bool* anyUpdate) {
+                                  std::uint32_t level, bool* anyUpdate,
+                                  std::uint32_t prefetchDepth = 0) {
   core::AgileLockChain chain;
   const std::uint32_t stride = ctx.gridDim() * ctx.blockDim();
   const std::uint32_t n = static_cast<std::uint32_t>(dist.size());
   for (std::uint32_t v = ctx.globalThreadIdx(); v < n; v += stride) {
     ctx.charge(cost::kWordAccess);  // frontier check
     if (dist[v] != level) continue;
-    for (std::uint64_t e = rowPtr[v]; e < rowPtr[v + 1]; ++e) {
+    const std::uint64_t rowStart = rowPtr[v];
+    const std::uint64_t rowEnd = rowPtr[v + 1];
+    if constexpr (PrefetchableAccessor<ColAcc>) {
+      // Pipeline warm-up: issue the first K prefetches of this row.
+      if (prefetchDepth > 0) {
+        const std::uint64_t warm =
+            std::min<std::uint64_t>(rowEnd, rowStart + prefetchDepth);
+        for (std::uint64_t e = rowStart; e < warm; ++e) {
+          co_await colAcc.prefetchElemDivergent(ctx, e, chain);
+        }
+      }
+    }
+    for (std::uint64_t e = rowStart; e < rowEnd; ++e) {
+      if constexpr (PrefetchableAccessor<ColAcc>) {
+        if (prefetchDepth > 0 && e + prefetchDepth < rowEnd) {
+          co_await colAcc.prefetchElemDivergent(ctx, e + prefetchDepth,
+                                                chain);
+        }
+      }
       const std::uint32_t nbr = co_await colAcc.read(ctx, e, chain);
       ctx.charge(cost::kWordAccess);  // dist check + CAS
       if (dist[nbr] == kBfsUnreached) {
@@ -55,7 +80,8 @@ gpu::GpuTask<void> bfsLevelKernel(gpu::KernelCtx& ctx,
 template <class ColAcc>
 bool runBfs(core::AgileHost& host, const CsrGraph& g, ColAcc& colAcc,
             std::uint32_t source, std::vector<std::uint32_t>* distOut,
-            gpu::LaunchConfig launch = {.gridDim = 16, .blockDim = 128}) {
+            gpu::LaunchConfig launch = {.gridDim = 16, .blockDim = 128},
+            std::uint32_t prefetchDepth = 0) {
   std::vector<std::uint32_t> dist(g.numVertices, kBfsUnreached);
   dist[source] = 0;
   bool anyUpdate = true;
@@ -64,10 +90,11 @@ bool runBfs(core::AgileHost& host, const CsrGraph& g, ColAcc& colAcc,
     anyUpdate = false;
     launch.name = "bfs-level";
     const bool ok = host.runKernel(
-        launch, [&, level](gpu::KernelCtx& ctx) -> gpu::GpuTask<void> {
+        launch,
+        [&, level, prefetchDepth](gpu::KernelCtx& ctx) -> gpu::GpuTask<void> {
           return bfsLevelKernel(ctx, std::span<const std::uint64_t>(g.rowPtr),
                                 colAcc, std::span<std::uint32_t>(dist), level,
-                                &anyUpdate);
+                                &anyUpdate, prefetchDepth);
         });
     if (!ok) return false;
     ++level;

@@ -3,6 +3,7 @@
 // vector x resident in HBM. Thread-per-row with grid striding.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -17,17 +18,44 @@ namespace agile::apps {
 std::vector<float> spmvReference(const CsrGraph& g,
                                  const std::vector<float>& x);
 
+// With prefetchDepth > 0 and prefetch-capable accessors, the row fetch runs
+// a depth-K pipeline: column/value pages of edge e + depth are prefetched
+// while edge e is consumed, overlapping SSD latency with the row scan.
+// Depth 0 is the exact synchronous path used by the figure benches.
 template <class ColAcc, class ValAcc>
 gpu::GpuTask<void> spmvKernel(gpu::KernelCtx& ctx,
                               std::span<const std::uint64_t> rowPtr,
                               ColAcc& colAcc, ValAcc& valAcc,
-                              std::span<const float> x, std::span<float> y) {
+                              std::span<const float> x, std::span<float> y,
+                              std::uint32_t prefetchDepth = 0) {
   core::AgileLockChain chain;
   const std::uint32_t stride = ctx.gridDim() * ctx.blockDim();
   const std::uint32_t n = static_cast<std::uint32_t>(y.size());
   for (std::uint32_t row = ctx.globalThreadIdx(); row < n; row += stride) {
     float acc = 0.0f;
-    for (std::uint64_t e = rowPtr[row]; e < rowPtr[row + 1]; ++e) {
+    const std::uint64_t rowStart = rowPtr[row];
+    const std::uint64_t rowEnd = rowPtr[row + 1];
+    if constexpr (PrefetchableAccessor<ColAcc> &&
+                  PrefetchableAccessor<ValAcc>) {
+      if (prefetchDepth > 0) {
+        const std::uint64_t warm =
+            std::min<std::uint64_t>(rowEnd, rowStart + prefetchDepth);
+        for (std::uint64_t e = rowStart; e < warm; ++e) {
+          co_await colAcc.prefetchElemDivergent(ctx, e, chain);
+          co_await valAcc.prefetchElemDivergent(ctx, e, chain);
+        }
+      }
+    }
+    for (std::uint64_t e = rowStart; e < rowEnd; ++e) {
+      if constexpr (PrefetchableAccessor<ColAcc> &&
+                    PrefetchableAccessor<ValAcc>) {
+        if (prefetchDepth > 0 && e + prefetchDepth < rowEnd) {
+          co_await colAcc.prefetchElemDivergent(ctx, e + prefetchDepth,
+                                                chain);
+          co_await valAcc.prefetchElemDivergent(ctx, e + prefetchDepth,
+                                                chain);
+        }
+      }
       const std::uint32_t c = co_await colAcc.read(ctx, e, chain);
       const float w = co_await valAcc.read(ctx, e, chain);
       ctx.charge(2);  // fused multiply-add
@@ -43,14 +71,15 @@ template <class ColAcc, class ValAcc>
 bool runSpmv(core::AgileHost& host, const CsrGraph& g, ColAcc& colAcc,
              ValAcc& valAcc, const std::vector<float>& x,
              std::vector<float>* yOut,
-             gpu::LaunchConfig launch = {.gridDim = 16, .blockDim = 128}) {
+             gpu::LaunchConfig launch = {.gridDim = 16, .blockDim = 128},
+             std::uint32_t prefetchDepth = 0) {
   std::vector<float> y(g.numVertices, 0.0f);
   launch.name = "spmv";
   const bool ok = host.runKernel(
-      launch, [&](gpu::KernelCtx& ctx) -> gpu::GpuTask<void> {
+      launch, [&, prefetchDepth](gpu::KernelCtx& ctx) -> gpu::GpuTask<void> {
         return spmvKernel(ctx, std::span<const std::uint64_t>(g.rowPtr),
                           colAcc, valAcc, std::span<const float>(x),
-                          std::span<float>(y));
+                          std::span<float>(y), prefetchDepth);
       });
   if (!ok) return false;
   *yOut = std::move(y);
@@ -59,13 +88,25 @@ bool runSpmv(core::AgileHost& host, const CsrGraph& g, ColAcc& colAcc,
 
 // Vector-mean microkernel (Fig. 12's third workload): mean of an
 // SSD-resident float array, per-thread partial sums + lane-0 accumulation.
+// prefetchDepth > 0 pipelines the stream: the page of element
+// i + depth*stride is prefetched while element i is read.
 template <class Acc>
 gpu::GpuTask<void> vectorMeanKernel(gpu::KernelCtx& ctx, Acc& acc,
-                                    std::uint64_t count, double* partials) {
+                                    std::uint64_t count, double* partials,
+                                    std::uint32_t prefetchDepth = 0) {
   core::AgileLockChain chain;
   const std::uint32_t stride = ctx.gridDim() * ctx.blockDim();
   double local = 0.0;
   for (std::uint64_t i = ctx.globalThreadIdx(); i < count; i += stride) {
+    if constexpr (PrefetchableAccessor<Acc>) {
+      if (prefetchDepth > 0) {
+        const std::uint64_t ahead =
+            i + static_cast<std::uint64_t>(prefetchDepth) * stride;
+        if (ahead < count) {
+          co_await acc.prefetchElemDivergent(ctx, ahead, chain);
+        }
+      }
+    }
     const float v = co_await acc.read(ctx, i, chain);
     ctx.charge(1);
     local += v;

@@ -141,6 +141,7 @@ struct CacheStats {
   std::uint64_t evictions = 0;
   std::uint64_t writebacks = 0;
   std::uint64_t victimStalls = 0;
+  std::uint64_t cancelledClaims = 0;  // speculative prefetches aborted
 };
 
 // Per-operation charge profile. AGILE and the BaM baseline share the cache
@@ -362,6 +363,7 @@ class SoftwareCache {
   CacheLine& line(std::uint32_t i) { return lines_[i]; }
   Policy& policy() { return policy_; }
   const CacheStats& stats() const { return stats_; }
+  void resetStats() { stats_ = {}; }
   AgileLock& lock() { return lock_; }
   const CacheCosts& costs() const { return costs_; }
 
@@ -474,6 +476,26 @@ class SoftwareCache {
   std::uint32_t findLine(std::uint64_t tag) const {
     auto it = map_.find(tag);
     return it == map_.end() ? Policy::npos : it->second;
+  }
+
+  // Abort a claim before its fill was issued (speculative-prefetch cancel):
+  // the line returns to INVALID, the mapping is dropped, and anything parked
+  // on the line retries. The caller guarantees no SSD command references the
+  // line and no buffer waiter is attached.
+  void releaseClaim(sim::Engine& engine, std::uint32_t lineIdx) {
+    CacheLine& l = lines_[lineIdx];
+    AGILE_CHECK_MSG(l.state == LineState::kBusy && !l.evicting,
+                    "releaseClaim on a line that is not a pending fill");
+    AGILE_CHECK_MSG(l.bufWaitHead == nullptr,
+                    "releaseClaim with buffer waiters attached");
+    auto it = map_.find(l.tag);
+    if (it != map_.end() && it->second == lineIdx) map_.erase(it);
+    l.tag = kNoTag;
+    l.clearBusy(LineState::kInvalid);
+    ++stats_.cancelledClaims;
+    l.readyWaiters.notifyAll(engine);
+    l.freedWaiters.notifyAll(engine);
+    stallWaiters_.notifyOne(engine);
   }
 
   // Threads stalled on an all-BUSY cache park here (event-driven instead of

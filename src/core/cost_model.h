@@ -41,6 +41,12 @@ inline constexpr SimTime kSqFullBackoff = 400;
 inline constexpr SimTime kBarrierCheck = 10;
 inline constexpr SimTime kBufAttach = 16;     // append to a line's buf list
 
+// --- AGILE token / batch surface ---
+inline constexpr SimTime kTokenAlloc = 14;     // pool slot + generation stamp
+inline constexpr SimTime kTokenPoll = 8;       // status load + gen compare
+inline constexpr SimTime kTokenCancel = 18;    // timer cancel + line release
+inline constexpr SimTime kBatchEntryScan = 6;  // per-descriptor resolve step
+
 // --- AGILE share table ---
 inline constexpr SimTime kShareProbe = 26;
 inline constexpr SimTime kShareInsert = 38;

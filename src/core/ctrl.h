@@ -1,5 +1,14 @@
-// AgileCtrl — the device-side API surface of AGILE (§3.5, Listing 1):
+// AgileCtrl — the device-side API surface of AGILE (§3.5, Listing 1).
 //
+// The unified asynchronous surface is token-based: submitRead / submitWrite
+// / submitPrefetch / submitBatch return a generation-checked IoToken
+// (core/io_token.h) supporting poll(), co_await wait(), and cancel() —
+// cancel aborts a *speculative* prefetch whose deferred SSD issue is still
+// parked on the engine's timer wheel (O(1) Engine::cancel), releasing the
+// claimed cache line without any NVMe traffic. IoBatch submits N descriptors
+// with one warp-coalesced pass and a single SQ doorbell per target SSD.
+//
+// The paper's Listing-1 calls are thin shims over the same implementation:
 //   Method-1  prefetch(dev, lba, chain)           — fill the software cache
 //   Method-2  asyncRead / asyncWrite(dev, lba, buf, chain)  — async_issue
 //             with user-specified buffers; buf.wait() via waitBuf()
@@ -28,6 +37,7 @@
 #include "core/cost_model.h"
 #include "core/host.h"
 #include "core/io_queues.h"
+#include "core/io_token.h"
 #include "core/lock.h"
 #include "core/share_table.h"
 #include "gpu/exec.h"
@@ -51,6 +61,37 @@ struct CtrlStats {
   std::uint64_t arrayWrites = 0;
   std::uint64_t directReads = 0;  // SSD -> user buffer, bypassing the cache
   std::uint64_t prefetchDropped = 0;
+  // --- token / batch surface ---
+  std::uint64_t tokenSubmits = 0;           // token-returning submits
+  std::uint64_t speculativePrefetches = 0;  // deferred-issue prefetches armed
+  std::uint64_t prefetchCancelled = 0;      // cancelled before any SSD read
+  std::uint64_t deferredIssues = 0;         // speculative fills that fired
+  std::uint64_t batchSubmits = 0;
+  std::uint64_t batchRequests = 0;   // descriptors across all batches
+  std::uint64_t batchDoorbells = 0;  // doorbell writes covering batch runs
+};
+
+// Element index -> (LBA, byte offset) mapping of the array view. One shared
+// helper so the array API and the accessors' prefetch paths cannot drift.
+struct ElemAddr {
+  std::uint64_t lba;
+  std::uint32_t byteOff;
+};
+
+template <class T>
+constexpr ElemAddr elemAddr(std::uint64_t elemIdx) {
+  const std::uint64_t byteOff = elemIdx * sizeof(T);
+  return {byteOff / nvme::kLbaBytes,
+          static_cast<std::uint32_t>(byteOff % nvme::kLbaBytes)};
+}
+
+// Combined point-in-time statistics snapshot (copyable; pairs with
+// resetStats() for per-phase measurement windows, e.g. sweep points).
+struct CtrlSnapshot {
+  CtrlStats ctrl;
+  CacheStats cache;
+  ShareStats share;
+  IoOpPoolStats tokens;
 };
 
 template <class CachePolicy = ClockPolicy,
@@ -70,8 +111,19 @@ class AgileCtrl {
   AgileHost& host() { return *host_; }
   Cache& cache() { return cache_; }
   Share& shareTable() { return share_; }
+  IoOpPool& tokens() { return ops_; }
   const CtrlStats& stats() const { return stats_; }
   std::uint32_t lineBytes() const { return nvme::kLbaBytes; }
+
+  CtrlSnapshot snapshot() const {
+    return {stats_, cache_.stats(), share_.stats(), ops_.stats()};
+  }
+  void resetStats() {
+    stats_ = {};
+    cache_.resetStats();
+    share_.resetStats();
+    ops_.resetStats();
+  }
 
   // ------------------------------------------------------- Method 1 ----
 
@@ -94,56 +146,31 @@ class AgileCtrl {
     co_await fillCacheLine(ctx, dev, lba, chain, /*bounded=*/true);
   }
 
+  // Divergence-safe prefetch: no warp collective, so it may be called from
+  // lanes on divergent control paths (per-row pipelines). First-level
+  // coalescing is skipped; the cache's BUSY state (second level) still
+  // absorbs duplicates.
+  gpu::GpuTask<void> prefetchDivergent(gpu::KernelCtx& ctx, std::uint32_t dev,
+                                       std::uint64_t lba,
+                                       AgileLockChain& chain) {
+    ++stats_.prefetches;
+    co_await fillCacheLine(ctx, dev, lba, chain, /*bounded=*/true);
+  }
+
   // ------------------------------------------------------- Method 2 ----
 
   // async_issue(src=SSD, dst=user buffer). Never blocks on the cache: a miss
   // goes SSD -> buffer directly (no line lock is held, §3.1), a BUSY line
-  // appends the buffer to the line's waiter list (§3.4 case (c)).
+  // appends the buffer to the line's waiter list (§3.4 case (c)). Thin shim
+  // over the token surface's resolve step, minus the token bookkeeping.
   gpu::GpuTask<void> asyncRead(gpu::KernelCtx& ctx, std::uint32_t dev,
                                std::uint64_t lba, AgileBufPtr& buf,
                                AgileLockChain& chain) {
-    ++stats_.asyncReads;
-    const std::uint64_t tag = makeTag(dev, lba);
-    AGILE_CHECK_MSG(buf.own() != nullptr && buf.own()->data() != nullptr,
-                    "asyncRead requires a bound buffer");
-
-    // Share Table first (§3.4.1: highest priority in the hierarchy).
-    if constexpr (Share::kEnabled) {
-      if (ShareEntry* e = share_.attach(ctx, tag)) {
-        buf.pointAt(*e->buf, e);
-        co_return;  // data (or its in-flight barrier) is the owner's
-      }
-    }
-
-    // Fall back to the software cache.
-    const ProbeResult r = cache_.probeOnly(ctx, tag);
-    if (r.outcome == ProbeOutcome::kHit) {
-      ctx.charge(cache_.costs().lineCopy);
-      std::memcpy(buf.own()->data(), cache_.line(r.line).data,
-                  nvme::kLbaBytes);
-      co_return;
-    }
-    if (r.outcome == ProbeOutcome::kBusy) {
-      // Second-level coalescing: ride the in-flight fill.
-      ctx.charge(cost::kBufAttach);
-      cache_.line(r.line).appendBufWaiter(*buf.own());
-      co_return;
-    }
-
-    // Miss: direct SSD -> user buffer, registered in the Share Table so
-    // concurrent readers of the same page share this buffer.
-    ++stats_.directReads;
-    if constexpr (Share::kEnabled) {
-      share_.registerOwner(ctx, tag, *buf.own());
-    }
-    if (buf.own()->barrier().ready()) buf.own()->barrier().reset();
-    buf.own()->barrier().addPending();
-    nvme::Sqe cmd = makeCmd(nvme::Opcode::kRead, lba,
-                            host_->gpu().hbm().physAddr(buf.own()->data()));
+    nvme::Sqe cmd;
     Transaction txn;
-    txn.kind = TxnKind::kBufRead;
-    txn.buf = buf.own();
-    co_await issueToSsd(ctx, dev, cmd, txn, chain);
+    if (resolveRead(ctx, dev, lba, buf, &cmd, &txn)) {
+      co_await issueToSsd(ctx, dev, cmd, txn, chain);
+    }
   }
 
   // async_issue(src=user buffer, dst=SSD). The payload is snapshotted into a
@@ -152,49 +179,9 @@ class AgileCtrl {
   gpu::GpuTask<void> asyncWrite(gpu::KernelCtx& ctx, std::uint32_t dev,
                                 std::uint64_t lba, AgileBufPtr& buf,
                                 AgileLockChain& chain) {
-    ++stats_.asyncWrites;
-    const std::uint64_t tag = makeTag(dev, lba);
-    AGILE_CHECK(buf.own() != nullptr && buf.own()->data() != nullptr);
-
-    std::byte* staging;
-    for (;;) {
-      staging = host_->staging().tryGet();
-      if (staging != nullptr) break;
-      co_await ctx.parkOn(host_->staging().waiters());
-    }
-    ctx.charge(cache_.costs().lineCopy);
-    std::memcpy(staging, buf.own()->data(), nvme::kLbaBytes);
-
-    // Coherency: land the new data in any cached copy of this page. A line
-    // whose fill or writeback is in flight is waited out so the older I/O
-    // cannot clobber the update (write-after-write through the SSD).
-    for (;;) {
-      const std::uint32_t li = cache_.findLine(tag);
-      if (li == Cache::npos) break;
-      CacheLine& l = cache_.line(li);
-      if (l.state == LineState::kBusy) {
-        co_await ctx.parkOn(l.evicting ? l.freedWaiters : l.readyWaiters);
-        continue;
-      }
-      if (l.state == LineState::kReady || l.state == LineState::kModified) {
-        ctx.charge(cache_.costs().lineCopy);
-        std::memcpy(l.data, staging, nvme::kLbaBytes);
-        // Written through: the cached copy matches what will be on flash.
-        l.state = LineState::kReady;
-      }
-      break;
-    }
-    if constexpr (Share::kEnabled) share_.invalidate(tag);
-
-    if (buf.own()->barrier().ready()) buf.own()->barrier().reset();
-    buf.own()->barrier().addPending();
-    nvme::Sqe cmd = makeCmd(nvme::Opcode::kWrite, lba,
-                            host_->gpu().hbm().physAddr(staging));
+    nvme::Sqe cmd;
     Transaction txn;
-    txn.kind = TxnKind::kBufWrite;
-    txn.staging = staging;
-    txn.stagingPool = &host_->staging();
-    txn.barrier = &buf.own()->barrier();
+    co_await prepareWrite(ctx, dev, lba, buf, &cmd, &txn);
     co_await issueToSsd(ctx, dev, cmd, txn, chain);
   }
 
@@ -262,12 +249,10 @@ class AgileCtrl {
   gpu::GpuTask<T> arrayRead(gpu::KernelCtx& ctx, std::uint32_t dev,
                             std::uint64_t elemIdx, AgileLockChain& chain) {
     ++stats_.arrayReads;
-    const std::uint64_t byteOff = elemIdx * sizeof(T);
-    const std::uint64_t lba = byteOff / nvme::kLbaBytes;
-    const std::uint32_t off = byteOff % nvme::kLbaBytes;
-    AGILE_CHECK_MSG(off + sizeof(T) <= nvme::kLbaBytes,
+    const ElemAddr at = elemAddr<T>(elemIdx);
+    AGILE_CHECK_MSG(at.byteOff + sizeof(T) <= nvme::kLbaBytes,
                     "element straddles SSD pages");
-    const std::uint64_t tag = makeTag(dev, lba);
+    const std::uint64_t tag = makeTag(dev, at.lba);
 
     for (std::uint32_t attempt = 0; attempt < cfg_.maxArrayRetries;
          ++attempt) {
@@ -276,14 +261,14 @@ class AgileCtrl {
         case ProbeOutcome::kHit: {
           ctx.charge(cache_.costs().word);
           T v;
-          std::memcpy(&v, cache_.line(r.line).data + off, sizeof(T));
+          std::memcpy(&v, cache_.line(r.line).data + at.byteOff, sizeof(T));
           co_return v;
         }
         case ProbeOutcome::kBusy:
           co_await ctx.parkOn(cache_.line(r.line).readyWaiters);
           break;
         case ProbeOutcome::kClaimed:
-          co_await issueFill(ctx, dev, lba, cache_.line(r.line), chain);
+          co_await issueFill(ctx, dev, at.lba, cache_.line(r.line), chain);
           break;
         case ProbeOutcome::kNeedWriteback:
           co_await issueWriteback(ctx, cache_.line(r.line), chain);
@@ -328,11 +313,9 @@ class AgileCtrl {
                                 std::uint64_t elemIdx, T value,
                                 AgileLockChain& chain) {
     ++stats_.arrayWrites;
-    const std::uint64_t byteOff = elemIdx * sizeof(T);
-    const std::uint64_t lba = byteOff / nvme::kLbaBytes;
-    const std::uint32_t off = byteOff % nvme::kLbaBytes;
-    AGILE_CHECK(off + sizeof(T) <= nvme::kLbaBytes);
-    const std::uint64_t tag = makeTag(dev, lba);
+    const ElemAddr at = elemAddr<T>(elemIdx);
+    AGILE_CHECK(at.byteOff + sizeof(T) <= nvme::kLbaBytes);
+    const std::uint64_t tag = makeTag(dev, at.lba);
 
     for (std::uint32_t attempt = 0; attempt < cfg_.maxArrayRetries;
          ++attempt) {
@@ -340,7 +323,8 @@ class AgileCtrl {
       switch (r.outcome) {
         case ProbeOutcome::kHit: {
           ctx.charge(cache_.costs().word);
-          std::memcpy(cache_.line(r.line).data + off, &value, sizeof(T));
+          std::memcpy(cache_.line(r.line).data + at.byteOff, &value,
+                      sizeof(T));
           cache_.markModified(r.line);
           if constexpr (Share::kEnabled) share_.invalidate(tag);
           co_return;
@@ -349,7 +333,7 @@ class AgileCtrl {
           co_await ctx.parkOn(cache_.line(r.line).readyWaiters);
           break;
         case ProbeOutcome::kClaimed:
-          co_await issueFill(ctx, dev, lba, cache_.line(r.line), chain);
+          co_await issueFill(ctx, dev, at.lba, cache_.line(r.line), chain);
           break;
         case ProbeOutcome::kNeedWriteback:
           co_await issueWriteback(ctx, cache_.line(r.line), chain);
@@ -364,6 +348,279 @@ class AgileCtrl {
     AGILE_CHECK_MSG(false, "arrayWrite retry budget exhausted");
   }
 
+  // ------------------------------------- unified async surface (tokens) ----
+
+  // async_issue(SSD -> user buffer) returning a pollable / awaitable handle.
+  gpu::GpuTask<IoToken> submitRead(gpu::KernelCtx& ctx, std::uint32_t dev,
+                                   std::uint64_t lba, AgileBufPtr& buf,
+                                   AgileLockChain& chain) {
+    ctx.charge(cost::kTokenAlloc);
+    const IoToken t = ops_.alloc(IoOpKind::kRead);
+    ++stats_.tokenSubmits;
+    co_await asyncRead(ctx, dev, lba, buf, chain);
+    // Bind the tracked barrier after the resolve: a Share-Table hit
+    // redirects the pointer at a peer's buffer, whose barrier covers the
+    // in-flight fill.
+    ops_.get(t)->barrier = &buf.active()->barrier();
+    co_return t;
+  }
+
+  // async_issue(user buffer -> SSD) returning a handle.
+  gpu::GpuTask<IoToken> submitWrite(gpu::KernelCtx& ctx, std::uint32_t dev,
+                                    std::uint64_t lba, AgileBufPtr& buf,
+                                    AgileLockChain& chain) {
+    ctx.charge(cost::kTokenAlloc);
+    const IoToken t = ops_.alloc(IoOpKind::kWrite);
+    ++stats_.tokenSubmits;
+    ops_.get(t)->barrier = &buf.own()->barrier();
+    co_await asyncWrite(ctx, dev, lba, buf, chain);
+    co_return t;
+  }
+
+  // Cache prefetch returning a handle. With speculativeDelayNs > 0 the cache
+  // line is claimed now but the SSD command is *deferred* on the engine's
+  // timer wheel: until the timer fires, cancel() aborts the prefetch in O(1)
+  // — no SSD read is issued and the claimed line is released. Demand that
+  // arrives meanwhile (readers parked on the BUSY line, attached buffers)
+  // rides the eventual fill exactly like a normal prefetch, and makes the
+  // op non-cancellable.
+  gpu::GpuTask<IoToken> submitPrefetch(gpu::KernelCtx& ctx, std::uint32_t dev,
+                                       std::uint64_t lba,
+                                       AgileLockChain& chain,
+                                       SimTime speculativeDelayNs = 0) {
+    ctx.charge(cost::kTokenAlloc);
+    const IoToken t = ops_.alloc(IoOpKind::kPrefetch);
+    ++stats_.tokenSubmits;
+    ++stats_.prefetches;
+    {
+      IoOp* op = ops_.get(t);
+      op->dev = dev;
+      op->lba = lba;
+    }
+    const std::uint64_t tag = makeTag(dev, lba);
+    std::uint32_t line = 0;
+    switch (co_await claimLine(ctx, tag, chain, kPrefetchClaimBudget, &line)) {
+      case ClaimResult::kPresent:
+        // Already present or in flight: nothing to do, nothing to cancel.
+        ops_.finish(*ops_.get(t), IoStatus::kDone, host_->engine());
+        co_return t;
+      case ClaimResult::kClaimed: {
+        IoOp* op = ops_.get(t);
+        op->line = line;
+        op->pendingFills = 1;
+        if (speculativeDelayNs == 0) {
+          co_await issueFill(ctx, dev, lba, cache_.line(line), chain,
+                             ops_.ref(t));
+          co_return t;
+        }
+        ++stats_.speculativePrefetches;
+        // The pump captures the claim itself (not just the token): the
+        // fill must fire even if the token is retired early — only
+        // cancel(), which kills this timer first, may abandon the line.
+        const std::uint32_t slot = ops_.slotOf(t);
+        const std::uint64_t gen = ops_.genOf(t);
+        op->timer = host_->engine().scheduleAfter(
+            speculativeDelayNs, [this, line, dev, lba, slot, gen] {
+              pumpDeferred(line, dev, lba, slot, gen);
+            });
+        co_return t;
+      }
+      case ClaimResult::kExhausted:
+        ++stats_.prefetchDropped;  // cache too contended; demand fetch later
+        ops_.finish(*ops_.get(t), IoStatus::kFailed, host_->engine());
+        co_return t;
+    }
+    co_return t;  // unreachable
+  }
+
+  // Submit a descriptor batch: one coalesced resolve pass over the entries,
+  // then every command that must reach an SSD is placed on a single SQ and
+  // covered by one doorbell write per target device (§3.3 batching). The
+  // IoBatch object must outlive the returned token. Lanes of a warp whose
+  // batches are identical elect a leader for the prefetch portion; demand
+  // entries (reads/writes) always run, their duplicates are absorbed by the
+  // Share Table and the cache's BUSY state.
+  gpu::GpuTask<IoToken> submitBatch(gpu::KernelCtx& ctx, IoBatch& batch,
+                                    AgileLockChain& chain) {
+    ctx.charge(cost::kTokenAlloc);
+    const IoToken t = ops_.alloc(IoOpKind::kBatch);
+    ++stats_.tokenSubmits;
+    ++stats_.batchSubmits;
+    stats_.batchRequests += batch.size();
+    ops_.get(t)->batch = &batch;
+
+    bool prefetchLeader = true;
+    if (cfg_.warpCoalescing && !batch.empty()) {
+      ctx.charge(cost::kCoalesceMatch);
+      const std::uint32_t peers =
+          co_await gpu::warpMatchAny(ctx, batch.signature());
+      const auto leader = static_cast<std::uint32_t>(std::countr_zero(peers));
+      prefetchLeader = ctx.laneId() == leader;
+    }
+
+    // Pass 1: resolve every entry; collect the commands that need the SSD.
+    PendingCmd cmds[IoBatch::kMaxEntries];
+    std::uint32_t nCmds = 0;
+    for (std::uint32_t i = 0; i < batch.size(); ++i) {
+      const IoBatch::Entry& e = batch.entry(i);
+      ctx.charge(cost::kBatchEntryScan);
+      switch (e.kind) {
+        case IoOpKind::kRead: {
+          AGILE_CHECK(e.buf != nullptr);
+          PendingCmd& pc = cmds[nCmds];
+          pc.dev = e.dev;
+          if (resolveRead(ctx, e.dev, e.lba, *e.buf, &pc.cmd, &pc.txn)) {
+            ++nCmds;
+          }
+          break;
+        }
+        case IoOpKind::kWrite: {
+          AGILE_CHECK(e.buf != nullptr);
+          PendingCmd& pc = cmds[nCmds];
+          pc.dev = e.dev;
+          co_await prepareWrite(ctx, e.dev, e.lba, *e.buf, &pc.cmd, &pc.txn);
+          ++nCmds;
+          break;
+        }
+        case IoOpKind::kPrefetch: {
+          if (!prefetchLeader || duplicatePrefetch(batch, i)) {
+            ++stats_.prefetchCoalesced;
+            break;
+          }
+          ++stats_.prefetches;
+          const bool claimed = co_await claimForBatchFill(
+              ctx, e.dev, e.lba, chain, &cmds[nCmds], ops_.ref(t));
+          if (claimed) {
+            cmds[nCmds].dev = e.dev;
+            ++ops_.get(t)->pendingFills;
+            ++nCmds;
+          }
+          break;
+        }
+        default:
+          AGILE_CHECK_MSG(false, "empty batch entry");
+      }
+    }
+
+    // Pass 2: one doorbell per target SSD for the whole run.
+    std::uint32_t issued = 0;
+    for (std::uint32_t dev = 0; issued < nCmds; ++dev) {
+      std::uint32_t devCount = 0;
+      for (std::uint32_t i = 0; i < nCmds; ++i) devCount += cmds[i].dev == dev;
+      if (devCount == 0) continue;
+      co_await issueBatchToSsd(ctx, dev, cmds, nCmds, chain);
+      issued += devCount;
+    }
+    co_return t;
+  }
+
+  // Non-blocking token status. Stale tokens (already observed terminal and
+  // recycled) report kRetired.
+  IoStatus poll(gpu::KernelCtx& ctx, const IoToken& t) {
+    ctx.charge(cost::kTokenPoll);
+    IoOp* op = ops_.get(t);
+    if (op == nullptr) return IoStatus::kRetired;
+    switch (op->kind) {
+      case IoOpKind::kRead:
+      case IoOpKind::kWrite:
+        if (!op->barrier->ready()) return IoStatus::kPending;
+        return op->barrier->failed() ? IoStatus::kFailed : IoStatus::kDone;
+      case IoOpKind::kPrefetch:
+        return op->status;
+      case IoOpKind::kBatch:
+        if (op->pendingFills > 0 || !op->batch->buffersReady()) {
+          return IoStatus::kPending;
+        }
+        return (op->sawError || op->batch->anyBufferFailed())
+                   ? IoStatus::kFailed
+                   : IoStatus::kDone;
+      default:
+        return IoStatus::kRetired;
+    }
+  }
+
+  // Block (event-driven) until the op reaches a terminal state; true iff it
+  // completed without NVMe errors. Observing the terminal state retires the
+  // token: its slot recycles and later poll()s report kRetired.
+  gpu::GpuTask<bool> wait(gpu::KernelCtx& ctx, IoToken t) {
+    for (;;) {
+      ctx.charge(cost::kBarrierCheck);
+      IoOp* op = ops_.get(t);
+      if (op == nullptr) co_return true;  // observed elsewhere already
+      switch (op->kind) {
+        case IoOpKind::kRead:
+        case IoOpKind::kWrite: {
+          const bool ok = co_await barrierWait(ctx, *op->barrier);
+          ops_.retire(t);
+          co_return ok;
+        }
+        case IoOpKind::kPrefetch: {
+          if (op->status == IoStatus::kPending) {
+            co_await ctx.parkOn(op->waiters);
+            continue;  // re-resolve: the op may have been cancelled+retired
+          }
+          const bool ok = op->status == IoStatus::kDone;
+          ops_.retire(t);
+          co_return ok;
+        }
+        case IoOpKind::kBatch: {
+          IoBatch* batch = op->batch;
+          for (std::uint32_t i = 0; i < batch->size(); ++i) {
+            const IoBatch::Entry& e = batch->entry(i);
+            if (e.buf != nullptr && e.buf->active() != nullptr) {
+              (void)co_await barrierWait(ctx, e.buf->active()->barrier());
+            }
+          }
+          op = ops_.get(t);
+          if (op == nullptr) co_return true;
+          if (op->pendingFills > 0) {
+            co_await ctx.parkOn(op->waiters);
+            continue;
+          }
+          const bool ok = !op->sawError && !batch->anyBufferFailed();
+          ops_.retire(t);
+          co_return ok;
+        }
+        default:
+          ops_.retire(t);
+          co_return true;
+      }
+    }
+  }
+
+  // Abort a speculative prefetch whose deferred SSD issue has not fired yet.
+  // Returns true iff the op was cancelled: the timer is removed from the
+  // wheel (O(1)), the claimed cache line is released, no SSD command is ever
+  // issued, and the token is retired. Returns false when the op is not a
+  // speculative prefetch, already issued/completed, or demand (parked
+  // readers / attached buffers) is riding the pending fill.
+  bool cancel(gpu::KernelCtx& ctx, const IoToken& t) {
+    ctx.charge(cost::kTokenCancel);
+    IoOp* op = ops_.get(t);
+    if (op == nullptr) return false;
+    if (op->kind != IoOpKind::kPrefetch ||
+        op->status != IoStatus::kPending || !op->timer) {
+      return false;
+    }
+    CacheLine& l = cache_.line(op->line);
+    if (l.bufWaitHead != nullptr || !l.readyWaiters.empty()) {
+      return false;  // demand attached: no longer speculative
+    }
+    if (!host_->engine().cancel(op->timer)) return false;  // already firing
+    cache_.releaseClaim(host_->engine(), op->line);
+    ++stats_.prefetchCancelled;
+    // Parked wait()ers must observe kCancelled (and report failure) before
+    // the slot recycles; with no waiters the cancel is the observation.
+    const bool hasWaiters = !op->waiters.empty();
+    ops_.finish(*op, IoStatus::kCancelled, host_->engine());
+    if (!hasWaiters) ops_.retire(t);
+    return true;
+  }
+
+  // Drop a token without waiting (recycles the op slot; in-flight I/O is
+  // unaffected and still lands normally).
+  void retire(const IoToken& t) { ops_.retire(t); }
+
   // ----------------------------------------------------- internals ----
 
   // Claim-and-fill used by prefetch and by the array API miss path.
@@ -371,37 +628,30 @@ class AgileCtrl {
                                    std::uint64_t lba, AgileLockChain& chain,
                                    bool bounded) {
     const std::uint64_t tag = makeTag(dev, lba);
-    const std::uint32_t budget = bounded ? 64u : cfg_.maxArrayRetries;
-    for (std::uint32_t attempt = 0; attempt < budget; ++attempt) {
-      const ProbeResult r = cache_.probeOrClaim(ctx, tag);
-      switch (r.outcome) {
-        case ProbeOutcome::kHit:
-        case ProbeOutcome::kBusy:
-          co_return;  // already present or in flight (second-level coalesce)
-        case ProbeOutcome::kClaimed:
-          co_await issueFill(ctx, dev, lba, cache_.line(r.line), chain);
-          co_return;
-        case ProbeOutcome::kNeedWriteback:
-          co_await issueWriteback(ctx, cache_.line(r.line), chain);
-          break;
-        case ProbeOutcome::kStall:
-          // Every candidate line is BUSY: park until a completion frees one
-          // (timed backoff would melt down under cache thrash, §4.4/Fig 10).
-          co_await ctx.parkOn(cache_.stallWaiters());
-          break;
-      }
+    const std::uint32_t budget =
+        bounded ? kPrefetchClaimBudget : cfg_.maxArrayRetries;
+    std::uint32_t line = 0;
+    switch (co_await claimLine(ctx, tag, chain, budget, &line)) {
+      case ClaimResult::kPresent:
+        co_return;  // already present or in flight (second-level coalesce)
+      case ClaimResult::kClaimed:
+        co_await issueFill(ctx, dev, lba, cache_.line(line), chain);
+        co_return;
+      case ClaimResult::kExhausted:
+        ++stats_.prefetchDropped;  // cache too contended; demand fetch later
+        co_return;
     }
-    ++stats_.prefetchDropped;  // cache too contended; demand fetch later
   }
 
   gpu::GpuTask<void> issueFill(gpu::KernelCtx& ctx, std::uint32_t dev,
                                std::uint64_t lba, CacheLine& line,
-                               AgileLockChain& chain) {
+                               AgileLockChain& chain, IoOpRef opRef = {}) {
     nvme::Sqe cmd = makeCmd(nvme::Opcode::kRead, lba,
                             host_->gpu().hbm().physAddr(line.data));
     Transaction txn;
     txn.kind = TxnKind::kCacheFill;
     txn.line = &line;
+    txn.op = opRef;
     co_await issueToSsd(ctx, dev, cmd, txn, chain);
   }
 
@@ -446,6 +696,277 @@ class AgileCtrl {
   }
 
  private:
+  struct PendingCmd {
+    std::uint32_t dev = 0;
+    nvme::Sqe cmd;
+    Transaction txn;
+  };
+
+  // Retry budget of bounded (prefetch-flavor) claim loops: a prefetch that
+  // cannot claim a line in this many probe rounds is dropped, and demand
+  // fetches the page later.
+  static constexpr std::uint32_t kPrefetchClaimBudget = 64;
+
+  enum class ClaimResult : std::uint8_t {
+    kPresent,    // hit or fill already in flight (second-level coalesce)
+    kClaimed,    // *outLine claimed BUSY for this tag; caller owns the fill
+    kExhausted,  // retry budget spent with every candidate BUSY
+  };
+
+  // The one probe/claim retry state machine shared by every prefetch-flavor
+  // path (fillCacheLine, submitPrefetch, batch fills): handles dirty-victim
+  // writebacks and all-BUSY stalls with awaits between attempts.
+  gpu::GpuTask<ClaimResult> claimLine(gpu::KernelCtx& ctx, std::uint64_t tag,
+                                      AgileLockChain& chain,
+                                      std::uint32_t budget,
+                                      std::uint32_t* outLine) {
+    for (std::uint32_t attempt = 0; attempt < budget; ++attempt) {
+      const ProbeResult r = cache_.probeOrClaim(ctx, tag);
+      switch (r.outcome) {
+        case ProbeOutcome::kHit:
+        case ProbeOutcome::kBusy:
+          co_return ClaimResult::kPresent;
+        case ProbeOutcome::kClaimed:
+          *outLine = r.line;
+          co_return ClaimResult::kClaimed;
+        case ProbeOutcome::kNeedWriteback:
+          co_await issueWriteback(ctx, cache_.line(r.line), chain);
+          break;
+        case ProbeOutcome::kStall:
+          // Every candidate line is BUSY: park until a completion frees one
+          // (timed backoff would melt down under cache thrash, §4.4/Fig 10).
+          co_await ctx.parkOn(cache_.stallWaiters());
+          break;
+      }
+    }
+    co_return ClaimResult::kExhausted;
+  }
+
+  // Resolve an async read against the Share Table and the software cache.
+  // Returns true when a direct SSD -> buffer command must be issued (written
+  // to *outCmd / *outTxn); false when the request resolved locally (share
+  // hit, cache hit, or attached to an in-flight fill).
+  bool resolveRead(gpu::KernelCtx& ctx, std::uint32_t dev, std::uint64_t lba,
+                   AgileBufPtr& buf, nvme::Sqe* outCmd, Transaction* outTxn) {
+    ++stats_.asyncReads;
+    const std::uint64_t tag = makeTag(dev, lba);
+    AGILE_CHECK_MSG(buf.own() != nullptr && buf.own()->data() != nullptr,
+                    "asyncRead requires a bound buffer");
+    // A reused handle may still point at a peer's buffer from an earlier
+    // Share-Table redirect; this read tracks the caller's own buffer unless
+    // the attach below redirects it again.
+    buf.bindOwn(*buf.own());
+
+    // Share Table first (§3.4.1: highest priority in the hierarchy).
+    if constexpr (Share::kEnabled) {
+      if (ShareEntry* e = share_.attach(ctx, tag)) {
+        buf.pointAt(*e->buf, e);
+        return false;  // data (or its in-flight barrier) is the owner's
+      }
+    }
+
+    // Fall back to the software cache.
+    const ProbeResult r = cache_.probeOnly(ctx, tag);
+    if (r.outcome == ProbeOutcome::kHit) {
+      ctx.charge(cache_.costs().lineCopy);
+      std::memcpy(buf.own()->data(), cache_.line(r.line).data,
+                  nvme::kLbaBytes);
+      return false;
+    }
+    if (r.outcome == ProbeOutcome::kBusy) {
+      // Second-level coalescing: ride the in-flight fill.
+      ctx.charge(cost::kBufAttach);
+      cache_.line(r.line).appendBufWaiter(*buf.own());
+      return false;
+    }
+
+    // Miss: direct SSD -> user buffer, registered in the Share Table so
+    // concurrent readers of the same page share this buffer.
+    ++stats_.directReads;
+    if constexpr (Share::kEnabled) {
+      share_.registerOwner(ctx, tag, *buf.own());
+    }
+    if (buf.own()->barrier().ready()) buf.own()->barrier().reset();
+    buf.own()->barrier().addPending();
+    *outCmd = makeCmd(nvme::Opcode::kRead, lba,
+                      host_->gpu().hbm().physAddr(buf.own()->data()));
+    outTxn->kind = TxnKind::kBufRead;
+    outTxn->buf = buf.own();
+    return true;
+  }
+
+  // Stage an async write's payload, keep the cache coherent, and build the
+  // SSD command (always needed; issue is the caller's). May park on the
+  // staging pool and on BUSY lines (write-after-write through the SSD).
+  gpu::GpuTask<void> prepareWrite(gpu::KernelCtx& ctx, std::uint32_t dev,
+                                  std::uint64_t lba, AgileBufPtr& buf,
+                                  nvme::Sqe* outCmd, Transaction* outTxn) {
+    ++stats_.asyncWrites;
+    const std::uint64_t tag = makeTag(dev, lba);
+    AGILE_CHECK(buf.own() != nullptr && buf.own()->data() != nullptr);
+
+    std::byte* staging;
+    for (;;) {
+      staging = host_->staging().tryGet();
+      if (staging != nullptr) break;
+      co_await ctx.parkOn(host_->staging().waiters());
+    }
+    ctx.charge(cache_.costs().lineCopy);
+    std::memcpy(staging, buf.own()->data(), nvme::kLbaBytes);
+
+    // Coherency: land the new data in any cached copy of this page. A line
+    // whose fill or writeback is in flight is waited out so the older I/O
+    // cannot clobber the update (write-after-write through the SSD).
+    for (;;) {
+      const std::uint32_t li = cache_.findLine(tag);
+      if (li == Cache::npos) break;
+      CacheLine& l = cache_.line(li);
+      if (l.state == LineState::kBusy) {
+        co_await ctx.parkOn(l.evicting ? l.freedWaiters : l.readyWaiters);
+        continue;
+      }
+      if (l.state == LineState::kReady || l.state == LineState::kModified) {
+        ctx.charge(cache_.costs().lineCopy);
+        std::memcpy(l.data, staging, nvme::kLbaBytes);
+        // Written through: the cached copy matches what will be on flash.
+        l.state = LineState::kReady;
+      }
+      break;
+    }
+    if constexpr (Share::kEnabled) share_.invalidate(tag);
+
+    if (buf.own()->barrier().ready()) buf.own()->barrier().reset();
+    buf.own()->barrier().addPending();
+    *outCmd = makeCmd(nvme::Opcode::kWrite, lba,
+                      host_->gpu().hbm().physAddr(staging));
+    outTxn->kind = TxnKind::kBufWrite;
+    outTxn->staging = staging;
+    outTxn->stagingPool = &host_->staging();
+    outTxn->barrier = &buf.own()->barrier();
+  }
+
+  // Batch-prefetch claim: like fillCacheLine, but the fill command is
+  // collected for the batched doorbell instead of issued immediately.
+  // Returns true when a line was claimed and *outCmd holds its fill.
+  gpu::GpuTask<bool> claimForBatchFill(gpu::KernelCtx& ctx, std::uint32_t dev,
+                                       std::uint64_t lba,
+                                       AgileLockChain& chain,
+                                       PendingCmd* outCmd, IoOpRef opRef) {
+    const std::uint64_t tag = makeTag(dev, lba);
+    std::uint32_t lineIdx = 0;
+    switch (co_await claimLine(ctx, tag, chain, kPrefetchClaimBudget,
+                               &lineIdx)) {
+      case ClaimResult::kPresent:
+        co_return false;  // present or in flight: coalesced
+      case ClaimResult::kClaimed: {
+        CacheLine& line = cache_.line(lineIdx);
+        outCmd->cmd = makeCmd(nvme::Opcode::kRead, lba,
+                              host_->gpu().hbm().physAddr(line.data));
+        outCmd->txn = Transaction{};
+        outCmd->txn.kind = TxnKind::kCacheFill;
+        outCmd->txn.line = &line;
+        outCmd->txn.op = opRef;
+        co_return true;
+      }
+      case ClaimResult::kExhausted:
+        ++stats_.prefetchDropped;
+        co_return false;
+    }
+    co_return false;  // unreachable
+  }
+
+  // True when an earlier batch entry already prefetches the same page.
+  static bool duplicatePrefetch(const IoBatch& batch, std::uint32_t idx) {
+    const IoBatch::Entry& e = batch.entry(idx);
+    for (std::uint32_t j = 0; j < idx; ++j) {
+      const IoBatch::Entry& p = batch.entry(j);
+      if (p.kind == IoOpKind::kPrefetch && p.dev == e.dev && p.lba == e.lba) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // Issue every collected command targeting `dev` onto one SQ, ringing the
+  // doorbell once per contiguous run (chunked only when the ring fills).
+  gpu::GpuTask<void> issueBatchToSsd(gpu::KernelCtx& ctx, std::uint32_t dev,
+                                     const PendingCmd* cmds,
+                                     std::uint32_t nCmds,
+                                     AgileLockChain& chain) {
+    QueuePairSet& qps = host_->queuePairs();
+    const std::uint32_t first = qps.firstForSsd(dev);
+    const std::uint32_t n = qps.countForSsd(dev);
+    const std::uint32_t preferred =
+        (ctx.globalThreadIdx() / gpu::kWarpSize) % n;
+    AgileSq& sq = *qps.sqs[first + preferred];
+
+    // Gather this device's commands preserving batch order.
+    nvme::Sqe devCmds[IoBatch::kMaxEntries];
+    Transaction devTxns[IoBatch::kMaxEntries];
+    std::uint32_t devN = 0;
+    for (std::uint32_t i = 0; i < nCmds; ++i) {
+      if (cmds[i].dev != dev) continue;
+      devCmds[devN] = cmds[i].cmd;
+      devTxns[devN] = cmds[i].txn;
+      ++devN;
+    }
+
+    std::uint32_t done = 0;
+    while (done < devN) {
+      std::uint32_t slots[IoBatch::kMaxEntries];
+      std::uint32_t got = 0;
+      while (done + got < devN) {
+        ctx.charge(cost::kSqeAlloc);
+        const std::uint32_t slot = sq.tryAlloc();
+        if (slot == kNoSlot) break;
+        slots[got++] = slot;
+      }
+      if (got == 0) {
+        // Ring full: wait for the service to release entries, then continue
+        // with the remainder (its doorbell counts as a new run).
+        co_await ctx.parkOn(sq.freeWaiters);
+        continue;
+      }
+      co_await issueOnSlots(ctx, sq, slots, devCmds + done, devTxns + done,
+                            got, chain);
+      ++stats_.batchDoorbells;
+      done += got;
+    }
+  }
+
+  // Deferred speculative-prefetch issue: runs as an engine event when the
+  // cancellation window closes. The claimed line and target page ride the
+  // capture, so the fill fires even for an early-retired token; the IoOpRef
+  // is generation-checked, so token notification is a no-op in that case.
+  // A cancelled op never reaches here (cancel kills the timer first).
+  void pumpDeferred(std::uint32_t lineIdx, std::uint32_t dev,
+                    std::uint64_t lba, std::uint32_t slot,
+                    std::uint64_t gen) {
+    CacheLine& line = cache_.line(lineIdx);
+    nvme::Sqe cmd = makeCmd(nvme::Opcode::kRead, lba,
+                            host_->gpu().hbm().physAddr(line.data));
+    Transaction txn;
+    txn.kind = TxnKind::kCacheFill;
+    txn.line = &line;
+    txn.op = IoOpRef{&ops_, slot, gen};
+    QueuePairSet& qps = host_->queuePairs();
+    const std::uint32_t first = qps.firstForSsd(dev);
+    const std::uint32_t n = qps.countForSsd(dev);
+    for (std::uint32_t k = 0; k < n; ++k) {
+      AgileSq& sq = *qps.sqs[first + (deferredSqCursor_ + k) % n];
+      if (tryIssueFromHost(sq, cmd, txn)) {
+        deferredSqCursor_ = (deferredSqCursor_ + k + 1) % n;
+        ++stats_.deferredIssues;
+        return;
+      }
+    }
+    // Every queue of this SSD is full: re-pump when one frees an entry.
+    qps.sqs[first + deferredSqCursor_ % n]->freeWaiters.park(
+        [this, lineIdx, dev, lba, slot, gen] {
+          pumpDeferred(lineIdx, dev, lba, slot, gen);
+        });
+  }
+
   // Propagate a Modified shared buffer into the software cache (becomes a
   // MODIFIED line; the normal eviction path writes it to flash).
   gpu::GpuTask<void> propagateToCache(gpu::KernelCtx& ctx, std::uint64_t tag,
@@ -500,6 +1021,8 @@ class AgileCtrl {
   Cache cache_;
   Share share_;
   CtrlStats stats_;
+  IoOpPool ops_;
+  std::uint32_t deferredSqCursor_ = 0;
 };
 
 using DefaultCtrl = AgileCtrl<ClockPolicy, DefaultSharePolicy>;

@@ -47,6 +47,52 @@ gpu::GpuTask<void> issueOnSlot(gpu::KernelCtx& ctx, AgileSq& sq,
   }
 }
 
+gpu::GpuTask<void> issueOnSlots(gpu::KernelCtx& ctx, AgileSq& sq,
+                                const std::uint32_t* slots,
+                                const nvme::Sqe* cmds, const Transaction* txns,
+                                std::uint32_t n, AgileLockChain& chain) {
+  AGILE_CHECK(n >= 1);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::uint32_t slot = slots[i];
+    AGILE_CHECK(sq.state[slot] == SqeState::kHeld);
+    nvme::Sqe cmd = cmds[i];
+    cmd.cid = narrowCast<std::uint16_t>(slot);
+    ctx.charge(cost::kSqeFill);
+    sq.ring[slot] = cmd;
+    sq.txn[slot] = txns[i];
+    sq.state[slot] = SqeState::kUpdated;
+  }
+  // Slots were claimed in ring order, so a doorbell covering the last one
+  // covers the whole batch: one MMIO write for all n commands.
+  while (!attemptSqDoorbell(ctx, sq, slots[n - 1], chain)) {
+    co_await ctx.backoff(cost::kLockRetryBackoff);
+  }
+}
+
+bool tryIssueFromHost(AgileSq& sq, nvme::Sqe cmd, const Transaction& txn) {
+  const std::uint32_t slot = sq.tryAlloc();
+  if (slot == kNoSlot) return false;
+  cmd.cid = narrowCast<std::uint16_t>(slot);
+  sq.ring[slot] = cmd;
+  sq.txn[slot] = txn;
+  sq.state[slot] = SqeState::kUpdated;
+  // Advance the doorbell over the contiguous UPDATED run. A HELD slot ahead
+  // of ours stops the scan — its owner's issueOnSlot will cover us, exactly
+  // as in the lane-side protocol.
+  std::uint32_t tail = sq.issueTail;
+  std::uint32_t advanced = 0;
+  while (sq.state[tail] == SqeState::kUpdated) {
+    sq.state[tail] = SqeState::kIssued;
+    tail = (tail + 1) % sq.depth;
+    ++advanced;
+  }
+  if (advanced != 0) {
+    sq.issueTail = tail;
+    sq.ssd->writeSqDoorbell(sq.qid, tail);
+  }
+  return true;
+}
+
 gpu::GpuTask<std::uint32_t> issueCommand(gpu::KernelCtx& ctx, AgileSq& sq,
                                          nvme::Sqe cmd, Transaction txn,
                                          AgileLockChain& chain) {

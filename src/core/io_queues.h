@@ -16,6 +16,7 @@
 #include "common/check.h"
 #include "core/buf.h"
 #include "core/cache.h"
+#include "core/io_token.h"
 #include "core/lock.h"
 #include "nvme/defs.h"
 #include "nvme/ssd.h"
@@ -47,6 +48,10 @@ struct Transaction {
   AgileTxBarrier* barrier = nullptr;
   std::byte* staging = nullptr;
   StagingPool* stagingPool = nullptr;
+  // Optional token-op notification (prefetch / batch fills): completion
+  // decrements the op's outstanding-fill count. Generation-checked, so a
+  // ref outliving its op is harmless.
+  IoOpRef op;
 };
 
 inline constexpr std::uint32_t kNoSlot = std::numeric_limits<std::uint32_t>::max();
@@ -204,6 +209,11 @@ inline void applyCompletion(sim::Engine& engine, AgileSq& sq,
     case TxnKind::kNone:
       AGILE_CHECK_MSG(false, "completion for an empty transaction");
   }
+  // Token-op bookkeeping rides the same completion, after the cache/buffer
+  // transition so a poll() from a woken waiter observes consistent state.
+  if (txn.op.pool != nullptr) {
+    txn.op.pool->completeOp(txn.op.slot, txn.op.gen, status, engine);
+  }
   // A freed SQE may unblock an issuer parked on the full queue (§3.2.1's
   // deadlock elimination: the service, not the user thread, releases).
   sq.freeWaiters.notifyOne(engine);
@@ -222,5 +232,23 @@ gpu::GpuTask<void> issueOnSlot(gpu::KernelCtx& ctx, AgileSq& sq,
 gpu::GpuTask<std::uint32_t> issueCommand(gpu::KernelCtx& ctx, AgileSq& sq,
                                          nvme::Sqe cmd, Transaction txn,
                                          AgileLockChain& chain);
+
+// Batched Algorithm 2: write `n` commands into `n` pre-claimed ring slots
+// (claimed in ring order via tryAlloc), then drive the doorbell protocol
+// until all of them are ISSUED — the contiguous UPDATED run is covered by a
+// single SQ doorbell write instead of one per command.
+gpu::GpuTask<void> issueOnSlots(gpu::KernelCtx& ctx, AgileSq& sq,
+                                const std::uint32_t* slots,
+                                const nvme::Sqe* cmds, const Transaction* txns,
+                                std::uint32_t n, AgileLockChain& chain);
+
+// Host-side issue used by the deferred speculative-prefetch pump (an engine
+// timer, not a GPU lane — there is no KernelCtx to charge and no lock chain).
+// Claims a slot, writes the command, and advances the doorbell over the
+// contiguous UPDATED run. Safe against lane-side doorbell races because
+// device locks are never held across an engine event boundary (lanes
+// acquire and release `dbLock` within one resume segment). Returns false if
+// the queue is full; the caller re-arms via sq.freeWaiters.
+bool tryIssueFromHost(AgileSq& sq, nvme::Sqe cmd, const Transaction& txn);
 
 }  // namespace agile::core

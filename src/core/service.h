@@ -44,6 +44,10 @@ class AgileService {
 
   const ServiceConfig& config() const { return cfg_; }
   const ServiceStats& stats() const { return stats_; }
+  // Copyable point-in-time snapshot; pairs with resetStats() for per-phase
+  // measurement windows (sweep points, steady-state epochs).
+  ServiceStats snapshot() const { return stats_; }
+  void resetStats() { stats_ = {}; }
   bool stopRequested() const { return stop_; }
   void requestStop() { stop_ = true; }
 

@@ -78,6 +78,7 @@ class ShareTable {
 
   Policy& policy() { return policy_; }
   const ShareStats& stats() const { return stats_; }
+  void resetStats() { stats_ = {}; }
   std::size_t size() const { return map_.size(); }
 
   // Probe for an existing owner of `tag`; on hit, attach (refCount++).

@@ -1,8 +1,12 @@
 #include "sim/sweep.h"
 
+#include <algorithm>
 #include <atomic>
+#include <cinttypes>
+#include <cstdio>
 #include <thread>
-#include <vector>
+
+#include "sim/engine.h"
 
 namespace agile::sim {
 
@@ -29,6 +33,58 @@ void parallelFor(std::size_t n, const std::function<void(std::size_t)>& fn,
     });
   }
   for (auto& th : pool) th.join();
+}
+
+void SweepStats::recordEngine(std::size_t point, const Engine& engine) {
+  record(point, "engine.events", engine.executedEvents());
+  record(point, "engine.readyPath", engine.readyPathEvents());
+  record(point, "engine.cancelled", engine.cancelledEvents());
+  record(point, "engine.slabChunks", engine.slabChunks());
+}
+
+std::vector<SweepStats::Merged> SweepStats::merged() const {
+  std::vector<Merged> rows;
+  auto find = [&](const std::string& name) -> Merged* {
+    for (auto& r : rows) {
+      if (r.metric == name) return &r;
+    }
+    return nullptr;
+  };
+  for (const auto& point : perPoint_) {
+    for (const auto& [name, value] : point) {
+      Merged* row = find(name);
+      if (row == nullptr) {
+        rows.push_back(Merged{name, value, value, value, 1});
+        continue;
+      }
+      row->total += value;
+      if (value < row->min) row->min = value;
+      if (value > row->max) row->max = value;
+      ++row->points;
+    }
+  }
+  return rows;
+}
+
+std::string SweepStats::render(std::string_view title) const {
+  const auto rows = merged();
+  std::string out = "-- sweep stats (" + std::string(title) + ", " +
+                    std::to_string(perPoint_.size()) + " points) --\n";
+  std::size_t width = 6;
+  for (const auto& r : rows) width = std::max(width, r.metric.size());
+  char line[256];
+  std::snprintf(line, sizeof line, "%-*s %14s %14s %14s %7s\n",
+                static_cast<int>(width), "metric", "total", "min", "max",
+                "points");
+  out += line;
+  for (const auto& r : rows) {
+    std::snprintf(line, sizeof line,
+                  "%-*s %14" PRIu64 " %14" PRIu64 " %14" PRIu64 " %7zu\n",
+                  static_cast<int>(width), r.metric.c_str(), r.total, r.min,
+                  r.max, r.points);
+    out += line;
+  }
+  return out;
 }
 
 }  // namespace agile::sim

@@ -2,17 +2,76 @@
 // points (batch sizes, queue-pair counts, cache sizes). Each point owns its
 // own Engine, so points run on real host threads in parallel while each
 // simulation stays deterministic.
+//
+// SweepStats is the merged per-sweep statistics report: every point records
+// named counters into its own slot (thread-safe by construction — slots are
+// disjoint), and after the join the report merges them into
+// total/min/max-per-metric rows. Engine capacity telemetry (slab chunks,
+// executed events) feeds the per-point arena sizing planned in the ROADMAP's
+// multi-engine sweep scaling item.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
 
 namespace agile::sim {
+
+class Engine;
 
 // Runs fn(i) for i in [0, n) across up to `threads` host threads
 // (0 = hardware concurrency). Results must be written into caller-provided
 // per-index slots; fn must not touch shared mutable state.
 void parallelFor(std::size_t n, const std::function<void(std::size_t)>& fn,
                  unsigned threads = 0);
+
+// Merged statistics across the points of one sweep. Typical use:
+//
+//   SweepStats stats(points.size());
+//   parallelFor(points.size(), [&](std::size_t i) {
+//     ... run point i on its own Engine `eng`, controller `ctrl` ...
+//     stats.recordEngine(i, eng);
+//     stats.record(i, "cache.hits", ctrl.cache().stats().hits);
+//   });
+//   std::fputs(stats.render("my sweep").c_str(), stdout);
+//
+// record() is safe to call concurrently for distinct `i`; all other methods
+// must run after the parallelFor join. Metric rows render in first-recorded
+// order (scanning points in index order), so output is deterministic.
+class SweepStats {
+ public:
+  explicit SweepStats(std::size_t points) : perPoint_(points) {}
+
+  void record(std::size_t point, std::string_view metric,
+              std::uint64_t value) {
+    perPoint_[point].emplace_back(std::string(metric), value);
+  }
+
+  // Standard engine capacity/throughput telemetry for one point.
+  void recordEngine(std::size_t point, const Engine& engine);
+
+  std::size_t points() const { return perPoint_.size(); }
+
+  struct Merged {
+    std::string metric;
+    std::uint64_t total = 0;
+    std::uint64_t min = 0;
+    std::uint64_t max = 0;
+    std::size_t points = 0;  // points that recorded this metric
+  };
+
+  // One row per metric, in deterministic first-recorded order.
+  std::vector<Merged> merged() const;
+
+  // Human-readable table of the merged report.
+  std::string render(std::string_view title) const;
+
+ private:
+  std::vector<std::vector<std::pair<std::string, std::uint64_t>>> perPoint_;
+};
 
 }  // namespace agile::sim

@@ -11,6 +11,7 @@
 #include "apps/graph/bfs.h"
 #include "apps/graph/generators.h"
 #include "apps/graph/spmv.h"
+#include "nvme/flash_store.h"
 
 namespace agile::apps {
 namespace {
@@ -192,6 +193,100 @@ TEST_F(AppsGpuFixture, VectorMeanOverSsd) {
   EXPECT_NEAR(sum, expect, 1e-6);
 }
 
+TEST_F(AppsGpuFixture, BfsPipelinedMatchesReference) {
+  auto g = kroneckerGraph(9, 6, 21);
+  buildAgile(/*cacheLines=*/128);  // smaller than the graph: real misses
+  writeArrayToSsd(host->ssd(0), 0, g.col);
+  AgileAccessor<std::uint32_t> acc{*ctrl, 0};
+  std::vector<std::uint32_t> dist;
+  ASSERT_TRUE(runBfs(*host, g, acc, 0, &dist,
+                     {.gridDim = 16, .blockDim = 128},
+                     /*prefetchDepth=*/4));
+  EXPECT_EQ(dist, bfsReference(g, 0));
+  EXPECT_GT(ctrl->stats().prefetches, 0u);  // the pipeline actually ran
+}
+
+TEST_F(AppsGpuFixture, SpmvPipelinedMatchesReference) {
+  auto g = kroneckerGraph(8, 5, 23, /*makeWeights=*/true);
+  buildAgile(/*cacheLines=*/128);
+  const std::uint64_t colPages = writeArrayToSsd(host->ssd(0), 0, g.col);
+  writeArrayToSsd(host->ssd(0), colPages, g.weights);
+  AgileAccessor<std::uint32_t> colAcc{*ctrl, 0};
+  struct ShiftedValAcc {
+    core::DefaultCtrl* ctrl;
+    std::uint64_t baseElems;
+    gpu::GpuTask<float> read(gpu::KernelCtx& ctx, std::uint64_t idx,
+                             core::AgileLockChain& chain) {
+      co_return co_await ctrl->arrayRead<float>(ctx, 0, baseElems + idx,
+                                                chain);
+    }
+    gpu::GpuTask<void> prefetchElemDivergent(gpu::KernelCtx& ctx,
+                                             std::uint64_t idx,
+                                             core::AgileLockChain& chain) {
+      co_await ctrl->prefetchDivergent(
+          ctx, 0, core::elemAddr<float>(baseElems + idx).lba, chain);
+    }
+  } valAcc{ctrl.get(), colPages * nvme::kLbaBytes / sizeof(float)};
+
+  std::vector<float> x(g.numVertices);
+  for (std::uint32_t i = 0; i < g.numVertices; ++i) {
+    x[i] = 0.5f + static_cast<float>(i % 7);
+  }
+  std::vector<float> y;
+  ASSERT_TRUE(runSpmv(*host, g, colAcc, valAcc, x, &y,
+                      {.gridDim = 16, .blockDim = 128},
+                      /*prefetchDepth=*/4));
+  const auto ref = spmvReference(g, x);
+  ASSERT_EQ(y.size(), ref.size());
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    EXPECT_NEAR(y[i], ref[i], 1e-3) << i;
+  }
+}
+
+TEST_F(AppsGpuFixture, VectorMeanPipelinedMatchesSync) {
+  buildAgile(/*cacheLines=*/8);  // tiny cache: the pipeline must still agree
+  std::vector<float> data(8192);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<float>(i % 23);
+  }
+  writeArrayToSsd(host->ssd(0), 0, data);
+  AgileAccessor<float> acc{*ctrl, 0};
+  std::vector<double> partials(256, 0.0);
+  ASSERT_TRUE(host->runKernel(
+      {.gridDim = 2, .blockDim = 128, .name = "vecmean-pipe"},
+      [&](gpu::KernelCtx& ctx) -> gpu::GpuTask<void> {
+        return vectorMeanKernel(ctx, acc, data.size(), partials.data(),
+                                /*prefetchDepth=*/4);
+      }));
+  const double sum = std::accumulate(partials.begin(), partials.end(), 0.0);
+  const double expect = std::accumulate(data.begin(), data.end(), 0.0);
+  EXPECT_NEAR(sum, expect, 1e-6);
+}
+
+TEST_F(AppsGpuFixture, GatherPipelinedMatchesPattern) {
+  buildAgile(/*cacheLines=*/32);
+  AgileAccessor<std::uint64_t> acc{*ctrl, 0};
+  // Deterministic scattered indices across 256 pages.
+  std::vector<std::uint64_t> idxs(96);
+  for (std::size_t i = 0; i < idxs.size(); ++i) {
+    idxs[i] = (i * 37 + 11) % (256 * 512);
+  }
+  std::vector<std::uint64_t> out(idxs.size(), 0);
+  ASSERT_TRUE(host->runKernel(
+      {.gridDim = 1, .blockDim = 1, .name = "gather"},
+      [&](gpu::KernelCtx& ctx) -> gpu::GpuTask<void> {
+        core::AgileLockChain chain;
+        co_await acc.gather(ctx, std::span<const std::uint64_t>(idxs),
+                            std::span<std::uint64_t>(out), chain,
+                            /*depth=*/8);
+      }));
+  for (std::size_t i = 0; i < idxs.size(); ++i) {
+    const auto at = core::elemAddr<std::uint64_t>(idxs[i]);
+    EXPECT_EQ(out[i], nvme::FlashStore::patternWord(at.lba, at.byteOff / 8))
+        << i;
+  }
+}
+
 TEST(MlpTest, FlopsAndTime) {
   MlpSpec spec{.layerDims = {512, 512}};
   EXPECT_EQ(spec.flops(4), 2ull * 4 * 512 * 512 * 2);
@@ -270,12 +365,15 @@ TEST(DlrmTraceTest, SkewProducesReuse) {
 
 struct DlrmPipelineFixture : ::testing::Test {
   // Small-but-real end-to-end pipeline for each mode.
-  DlrmRunResult run(DlrmMode mode) {
+  DlrmRunResult run(DlrmMode mode, std::uint32_t gatherDepth = 0,
+                    std::uint32_t cacheLines = 1024,
+                    std::uint32_t batch = 512, double zipfTheta = 1.2) {
     core::HostConfig hcfg;
     hcfg.queuePairsPerSsd = 8;
     hcfg.queueDepth = 64;
     core::AgileHost host(hcfg);
     auto cfg = dlrmPaperConfig(2, /*vocabScale=*/256);
+    cfg.zipfTheta = zipfTheta;
     nvme::SsdConfig ssd;
     ssd.capacityLbas = cfg.embeddingPages() + 16;
     host.addNvmeDev(ssd);
@@ -284,11 +382,12 @@ struct DlrmPipelineFixture : ::testing::Test {
     if (mode == DlrmMode::kBam) {
       bam::DefaultBamCtrl bamCtrl(host, bam::BamConfig{.cacheLines = 1024});
       return runDlrm<core::DefaultCtrl>(host, cfg, trace, mode, nullptr,
-                                        &bamCtrl, /*batch=*/512, /*epochs=*/4);
+                                        &bamCtrl, batch, /*epochs=*/4);
     }
-    core::DefaultCtrl ctrl(host, core::CtrlConfig{.cacheLines = 1024});
+    core::DefaultCtrl ctrl(host, core::CtrlConfig{.cacheLines = cacheLines});
     host.startAgile();
-    auto res = runDlrm(host, cfg, trace, mode, &ctrl, nullptr, 512, 4);
+    auto res = runDlrm(host, cfg, trace, mode, &ctrl, nullptr, batch, 4,
+                       /*warmupEpochs=*/1, gatherDepth);
     host.stopAgile();
     return res;
   }
@@ -311,6 +410,21 @@ TEST_F(DlrmPipelineFixture, AgileAsyncCompletes) {
   auto r = run(DlrmMode::kAgileAsync);
   EXPECT_GT(r.totalNs, 0);
   EXPECT_GT(r.ssdReads, 0u);
+}
+
+TEST_F(DlrmPipelineFixture, AgileSyncPipelinedGatherWinsWhenMissBound) {
+  // The latency-hiding regime: few gather threads (batch 32 -> one block of
+  // 32), a near-uniform trace so lookups miss, and a cache that holds the
+  // full pipeline (32 threads x (depth+1) < 256 lines). Here the depth-K
+  // lookahead must beat the per-row blocking gather; a hit-heavy zipf trace
+  // would only pay the extra probes (covered by the Completes test above).
+  const auto sync = run(DlrmMode::kAgileSync, 0, /*cacheLines=*/256,
+                        /*batch=*/32, /*zipfTheta=*/0.1);
+  const auto piped = run(DlrmMode::kAgileSync, /*gatherDepth=*/4,
+                         /*cacheLines=*/256, /*batch=*/32, /*zipfTheta=*/0.1);
+  EXPECT_GT(piped.totalNs, 0);
+  EXPECT_GT(piped.ssdReads, 0u);
+  EXPECT_LT(piped.totalNs, sync.totalNs);
 }
 
 TEST_F(DlrmPipelineFixture, AgileBeatsBamAtThisScale) {

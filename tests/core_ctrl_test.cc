@@ -353,6 +353,99 @@ TEST_F(CtrlFixture, AsyncReadErrorSurfacesThroughWait) {
   EXPECT_FALSE(ok);
 }
 
+TEST_F(CtrlFixture, AsyncWriteWaitsOutInFlightFill) {
+  // Write-after-write through the cache: an asyncWrite hitting a BUSY line
+  // (fill in flight) must wait the fill out so the older I/O cannot clobber
+  // the update (§3.4 coherency).
+  build();
+  auto* mem = host->gpu().hbm().allocBytes(nvme::kLbaBytes);
+  std::uint64_t cached = 0;
+  ASSERT_TRUE(host->runKernel(
+      {.gridDim = 1, .blockDim = 1, .name = "waw-fill"},
+      [&](gpu::KernelCtx& ctx) -> gpu::GpuTask<void> {
+        AgileLockChain chain;
+        // Line goes BUSY (fill in flight), then the write targets it.
+        co_await ctrl->prefetch(ctx, 0, 13, chain);
+        AgileBuf buf(mem);
+        AgileBufPtr ptr(buf);
+        ptr.as<std::uint64_t>()[0] = 0xd00d;
+        co_await ctrl->asyncWrite(ctx, 0, 13, ptr, chain);
+        co_await ctrl->waitBuf(ctx, ptr);
+        // The cached copy must hold the new data, not the older fill's.
+        cached = co_await ctrl->arrayRead<std::uint64_t>(ctx, 0, 13 * 512,
+                                                         chain);
+      }));
+  EXPECT_EQ(cached, 0xd00du);
+  std::byte page[nvme::kLbaBytes];
+  ASSERT_TRUE(host->ssd(0).flash().readPage(13, page));
+  std::uint64_t direct = 0;
+  std::memcpy(&direct, page, sizeof direct);
+  EXPECT_EQ(direct, 0xd00du);
+}
+
+TEST_F(CtrlFixture, AsyncWriteWaitsOutInFlightWriteback) {
+  // The other wait-out flavor: the target line is BUSY *evicting* (its
+  // writeback is on the wire). The second writer parks on freedWaiters and
+  // must issue its SSD write only after the older write completed, so flash
+  // ends with the newer data.
+  build(/*cacheLines=*/1);
+  auto* mem = host->gpu().hbm().allocBytes(nvme::kLbaBytes);
+  std::uint64_t reread = 0;
+  ASSERT_TRUE(host->runKernel(
+      {.gridDim = 1, .blockDim = 2, .name = "waw-evict"},
+      [&](gpu::KernelCtx& ctx) -> gpu::GpuTask<void> {
+        AgileLockChain chain;
+        if (ctx.threadIdx() == 0) {
+          // Dirty page 5, then touch page 6: the single line starts a
+          // writeback of page 5 and refills with page 6.
+          co_await ctrl->arrayWrite<std::uint64_t>(ctx, 0, 5 * 512, 0x01d,
+                                                   chain);
+          (void)co_await ctrl->arrayRead<std::uint64_t>(ctx, 0, 6 * 512,
+                                                        chain);
+        } else {
+          // Arrive while page 5's writeback is in flight (the fill takes
+          // ~60 us, the writeback starts right after and takes ~20 us).
+          co_await gpu::compute(ctx, 70000);
+          AgileBuf buf(mem);
+          AgileBufPtr ptr(buf);
+          ptr.as<std::uint64_t>()[0] = 0x2e2;
+          co_await ctrl->asyncWrite(ctx, 0, 5, ptr, chain);
+          co_await ctrl->waitBuf(ctx, ptr);
+          // Fresh fill from flash must observe the *newer* write.
+          reread = co_await ctrl->arrayRead<std::uint64_t>(ctx, 0, 5 * 512,
+                                                           chain);
+        }
+      }));
+  EXPECT_EQ(reread, 0x2e2u);
+  EXPECT_GE(host->ssd(0).writesCompleted(), 2u);
+}
+
+TEST_F(CtrlFixture, ArrayWriteWaitsOutBusyLineThenLands) {
+  // arrayWrite's BUSY wait-out: a store to a page whose fill is in flight
+  // parks on readyWaiters, then retries and lands in the READY line.
+  build();
+  std::uint64_t got = 0;
+  ASSERT_TRUE(host->runKernel(
+      {.gridDim = 1, .blockDim = 2, .name = "aw-busy"},
+      [&](gpu::KernelCtx& ctx) -> gpu::GpuTask<void> {
+        AgileLockChain chain;
+        if (ctx.threadIdx() == 0) {
+          // Divergent-safe flavor: no warp collective, so the two lanes can
+          // take different paths. The line goes BUSY with the fill.
+          co_await ctrl->prefetchDivergent(ctx, 0, 44, chain);
+        } else {
+          co_await gpu::compute(ctx, 500);
+          // Store into the page while its fill is still in flight.
+          co_await ctrl->arrayWrite<std::uint64_t>(ctx, 0, 44 * 512 + 2,
+                                                   0xabc, chain);
+          got = co_await ctrl->arrayRead<std::uint64_t>(ctx, 0, 44 * 512 + 2,
+                                                        chain);
+        }
+      }));
+  EXPECT_EQ(got, 0xabcu);
+  EXPECT_EQ(host->ssd(0).readsCompleted(), 1u);  // the write rode the fill
+}
+
 TEST_F(CtrlFixture, CoalescedReadBroadcastsValue) {
   build();
   bool allMatch = true;
@@ -366,6 +459,69 @@ TEST_F(CtrlFixture, CoalescedReadBroadcastsValue) {
       }));
   EXPECT_TRUE(allMatch);
   EXPECT_EQ(host->ssd(0).readsCompleted(), 1u);
+}
+
+TEST_F(CtrlFixture, CoalescedReadDivergentValuesPerGroup) {
+  // Lanes read 4 distinct elements spread over 4 pages: match-any must form
+  // one group per element, each lane must receive its own group's value,
+  // and only 4 fills may reach the SSD.
+  build();
+  bool allMatch = true;
+  ASSERT_TRUE(host->runKernel(
+      {.gridDim = 1, .blockDim = 32, .name = "codiv"},
+      [&](gpu::KernelCtx& ctx) -> gpu::GpuTask<void> {
+        AgileLockChain chain;
+        const std::uint64_t page = ctx.laneId() / 8;  // 4 groups of 8 lanes
+        const auto v = co_await ctrl->arrayReadCoalesced<std::uint64_t>(
+            ctx, 0, page * 512 + 3, chain);
+        allMatch &= v == nvme::FlashStore::patternWord(page, 3);
+      }));
+  EXPECT_TRUE(allMatch);
+  EXPECT_EQ(host->ssd(0).readsCompleted(), 4u);
+}
+
+TEST_F(CtrlFixture, ElemAddrMatchesArrayMapping) {
+  // The shared element->LBA helper must agree with the array API's own
+  // mapping: a page prefetched via elemAddr makes the element read a pure
+  // cache hit (single fill), including for elements deep inside a page.
+  build();
+  std::uint64_t got = 0;
+  ASSERT_TRUE(host->runKernel(
+      {.gridDim = 1, .blockDim = 1, .name = "elemaddr"},
+      [&](gpu::KernelCtx& ctx) -> gpu::GpuTask<void> {
+        AgileLockChain chain;
+        const std::uint64_t idx = 9 * 512 + 317;  // word 317 of page 9
+        const ElemAddr at = elemAddr<std::uint64_t>(idx);
+        co_await ctrl->prefetch(ctx, 0, at.lba, chain);
+        got = co_await ctrl->arrayRead<std::uint64_t>(ctx, 0, idx, chain);
+      }));
+  EXPECT_EQ(got, nvme::FlashStore::patternWord(9, 317));
+  EXPECT_EQ(host->ssd(0).readsCompleted(), 1u);  // read coalesced on prefetch
+  static_assert(elemAddr<std::uint64_t>(9 * 512 + 317).lba == 9);
+  static_assert(elemAddr<std::uint64_t>(9 * 512 + 317).byteOff == 317 * 8);
+  static_assert(elemAddr<std::uint32_t>(1024).lba == 1);
+  static_assert(elemAddr<float>(5).byteOff == 20);
+}
+
+TEST_F(CtrlFixture, SnapshotAndResetStats) {
+  build();
+  ASSERT_TRUE(host->runKernel(
+      {.gridDim = 1, .blockDim = 1, .name = "snap"},
+      [&](gpu::KernelCtx& ctx) -> gpu::GpuTask<void> {
+        AgileLockChain chain;
+        (void)co_await ctrl->arrayRead<std::uint64_t>(ctx, 0, 3, chain);
+        co_await ctrl->prefetch(ctx, 0, 8, chain);
+      }));
+  ASSERT_TRUE(host->drainIo());
+  const CtrlSnapshot snap = ctrl->snapshot();
+  EXPECT_EQ(snap.ctrl.arrayReads, 1u);
+  EXPECT_EQ(snap.ctrl.prefetches, 1u);
+  EXPECT_GT(snap.cache.misses, 0u);
+  ctrl->resetStats();
+  EXPECT_EQ(ctrl->stats().arrayReads, 0u);
+  EXPECT_EQ(ctrl->cache().stats().misses, 0u);
+  // The snapshot is an independent copy, untouched by the reset.
+  EXPECT_EQ(snap.ctrl.arrayReads, 1u);
 }
 
 TEST_F(CtrlFixture, ManyThreadsManyPagesComplete) {

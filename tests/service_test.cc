@@ -70,6 +70,21 @@ TEST_F(ServiceFixture, ProcessesAllCompletions) {
   EXPECT_EQ(host->pendingTransactions(), 0u);
 }
 
+TEST_F(ServiceFixture, SnapshotAndResetStats) {
+  build(2, 64);
+  traffic(64);
+  const ServiceStats snap = host->service().snapshot();
+  EXPECT_EQ(snap.completions, 64u);
+  EXPECT_GT(snap.pollRounds, 0u);
+  host->service().resetStats();
+  EXPECT_EQ(host->service().stats().completions, 0u);
+  // The snapshot is an independent copy; a second traffic window measures
+  // only its own completions.
+  traffic(32);
+  EXPECT_EQ(host->service().stats().completions, 32u);
+  EXPECT_EQ(snap.completions, 64u);
+}
+
 TEST_F(ServiceFixture, WindowsAdvanceOnlyWhenFull) {
   build(1, 64);  // window = 32
   // 16 completions: fewer than one window — resources released but the

@@ -647,5 +647,51 @@ TEST(SweepTest, SingleThreadFallback) {
   for (int h : hits) EXPECT_EQ(h, 1);
 }
 
+TEST(SweepStatsTest, MergesAcrossPoints) {
+  SweepStats stats(3);
+  parallelFor(3, [&](std::size_t i) {
+    stats.record(i, "reads", 10 * (i + 1));
+    if (i != 1) stats.record(i, "hits", 5);
+  });
+  const auto rows = stats.merged();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].metric, "reads");  // first-recorded order
+  EXPECT_EQ(rows[0].total, 60u);
+  EXPECT_EQ(rows[0].min, 10u);
+  EXPECT_EQ(rows[0].max, 30u);
+  EXPECT_EQ(rows[0].points, 3u);
+  EXPECT_EQ(rows[1].metric, "hits");
+  EXPECT_EQ(rows[1].total, 10u);
+  EXPECT_EQ(rows[1].points, 2u);
+}
+
+TEST(SweepStatsTest, RecordsEngineTelemetry) {
+  SweepStats stats(2);
+  parallelFor(2, [&](std::size_t i) {
+    Engine eng;
+    for (std::size_t k = 0; k <= i; ++k) {
+      eng.scheduleAfter(static_cast<SimTime>(k + 1), [] {});
+    }
+    eng.runToCompletion();
+    stats.recordEngine(i, eng);
+  });
+  const auto rows = stats.merged();
+  ASSERT_GE(rows.size(), 4u);
+  EXPECT_EQ(rows[0].metric, "engine.events");
+  EXPECT_EQ(rows[0].total, 3u);  // 1 + 2 events
+  EXPECT_EQ(rows[0].points, 2u);
+}
+
+TEST(SweepStatsTest, RenderIsDeterministic) {
+  SweepStats stats(2);
+  stats.record(0, "a.metric", 1);
+  stats.record(1, "a.metric", 2);
+  const std::string a = stats.render("unit");
+  const std::string b = stats.render("unit");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find("a.metric"), std::string::npos);
+  EXPECT_NE(a.find("2 points"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace agile::sim
