@@ -44,18 +44,24 @@ struct RunResult {
   std::uint64_t cacheHits = 0;
   std::uint64_t cacheMisses = 0;
   std::uint64_t cancelled = 0;
+  std::uint64_t victimStalls = 0;
   std::uint64_t engineEvents = 0;
 };
 
 // One gather run at the given pipeline depth (0 = synchronous baseline).
-RunResult runGather(std::uint32_t depth, bool speculative) {
+// `cacheLines` sizes the software cache (the main sweep uses kCacheLines,
+// the thrash leg an undersized cache); `adaptive` toggles the per-shard
+// pressure throttle on the accessor pipeline.
+RunResult runGather(std::uint32_t depth, bool speculative,
+                    std::uint32_t cacheLines = kCacheLines,
+                    bool adaptive = true) {
   bench::TestbedConfig tb;
   tb.queuePairsPerSsd = 16;
   tb.queueDepth = 128;
   // Full 4 KiB payloads: the bench validates gathered words against the
   // flash pattern at arbitrary in-page offsets.
   auto host = bench::makeHost(tb);
-  core::DefaultCtrl ctrl(*host, core::CtrlConfig{.cacheLines = kCacheLines});
+  core::DefaultCtrl ctrl(*host, core::CtrlConfig{.cacheLines = cacheLines});
   host->startAgile();
   apps::AgileAccessor<std::uint64_t> acc(ctrl, 0);
 
@@ -101,7 +107,7 @@ RunResult runGather(std::uint32_t depth, bool speculative) {
         co_await acc.gather(
             ctx, std::span<const std::uint64_t>(&idxs[base], kElemsPerThread),
             std::span<std::uint64_t>(&out[base], kElemsPerThread), chain,
-            depth);
+            depth, adaptive);
       });
   AGILE_CHECK(ok);
   AGILE_CHECK(host->drainIo());
@@ -112,6 +118,7 @@ RunResult runGather(std::uint32_t depth, bool speculative) {
   r.cacheHits = ctrl.cache().stats().hits;
   r.cacheMisses = ctrl.cache().stats().misses;
   r.cancelled = ctrl.stats().prefetchCancelled;
+  r.victimStalls = ctrl.cache().stats().victimStalls;
   r.engineEvents = host->engine().executedEvents();
   host->stopAgile();
 
@@ -169,6 +176,27 @@ int main(int argc, char** argv) {
   table.print();
   std::printf("best: x%.2f at depth %u\n", best, bestDepth);
 
+  // Thrash leg: an undersized cache where threads x (depth+1) >> lines —
+  // the documented cliff regime. The adaptive per-shard pressure throttle
+  // must degrade the pipeline toward sync instead of letting prefetch-ahead
+  // evict its own window.
+  const std::uint32_t thrashDepth = 16;
+  const std::uint32_t thrashLines = 48;  // 16 threads x 17 in flight vs 48
+  const RunResult thrashFixed =
+      runGather(thrashDepth, /*speculative=*/false, thrashLines,
+                /*adaptive=*/false);
+  const RunResult thrashAdaptive =
+      runGather(thrashDepth, /*speculative=*/false, thrashLines,
+                /*adaptive=*/true);
+  const double thrashGain =
+      bench::toMs(thrashFixed.ns) / bench::toMs(thrashAdaptive.ns);
+  std::printf("thrash leg (%u lines, depth %u): fixed %.3f ms, adaptive "
+              "%.3f ms (x%.2f), victim stalls %llu -> %llu\n",
+              thrashLines, thrashDepth, bench::toMs(thrashFixed.ns),
+              bench::toMs(thrashAdaptive.ns), thrashGain,
+              static_cast<unsigned long long>(thrashFixed.victimStalls),
+              static_cast<unsigned long long>(thrashAdaptive.victimStalls));
+
   // Speculative-cancel leg: half the armed prefetches are cancelled inside
   // the deferral window; they must never reach the SSD.
   const RunResult spec = runGather(quick ? 4 : 8, /*speculative=*/true);
@@ -195,6 +223,7 @@ int main(int argc, char** argv) {
         i + 1 < depths.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n  \"best_speedup\": %.3f,\n", best);
+  std::fprintf(f, "  \"thrash_adaptive_speedup\": %.3f,\n", thrashGain);
   std::fprintf(f, "  \"speculative_cancelled\": %llu\n}\n",
                static_cast<unsigned long long>(spec.cancelled));
   std::fclose(f);

@@ -1,0 +1,374 @@
+// Contended probe/fill throughput of the sharded software cache vs the
+// pre-refactor single-map container (compiled into this binary as the
+// baseline, following the engine_stress pattern).
+//
+// Workload: 1024 lanes (16 blocks x 64 threads, two blocks per SM) hammer
+// probe-or-claim transactions against a 4096-line cache from a tag space 8x
+// its size — a miss-heavy gather where every warp keeps one probe/claim
+// critical section in flight per lane. In the unsharded design each such
+// section serializes the full warp (32 lanes x probe+insert on one lock);
+// the sharded cache splits the metadata so only same-shard peers convoy
+// (ceil(live/shards) turns), victim scans walk one shard, and all-BUSY
+// stalls park on the affected shard's list instead of one global one. The
+// shard population (~25% of a shard BUSY at steady state) stays below
+// saturation, so the speedup isolates critical-section contention — the
+// quantity the refactor targets — rather than associativity effects.
+//
+// Fills and writebacks complete via plain engine timers (no SSD model), so
+// the measurement isolates the cache's own contended paths. Every lane op
+// folds (outcome, line, virtual now) into an order-sensitive hash; the
+// shards=1 run must match the legacy baseline exactly — same hash, same
+// final virtual time, same stats — which is the compiled-in proof of the
+// refactor's headline determinism claim.
+//
+// Rounds double as the sim::SlabArenaPlan demo: round 0 grows the event
+// slab chunk-by-chunk, later rounds pre-size one arena from the observed
+// telemetry (wall time is best-of-rounds; virtual time must not change).
+//
+// Results go to stdout and BENCH_cache.json (gated in CI: determinism match
+// plus >= 2x contended throughput at 8 shards).
+#include <chrono>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/table.h"
+#include "core/cache.h"
+#include "gpu/exec.h"
+#include "sim/engine.h"
+#include "sim/sweep.h"
+
+using namespace agile;
+
+namespace {
+
+constexpr std::uint32_t kBlocks = 16;
+constexpr std::uint32_t kBlockDim = 64;
+constexpr std::uint32_t kLanes = kBlocks * kBlockDim;
+constexpr std::uint32_t kLines = 4096;  // ~25% of a shard BUSY in steady state
+constexpr std::uint64_t kTagSpace = static_cast<std::uint64_t>(kLines) * 8;
+constexpr SimTime kFillNs = 2000;
+constexpr SimTime kWritebackNs = 1000;
+
+// --------------------------------------------------------------------------
+// Baseline: the pre-refactor SoftwareCache, verbatim semantics — one global
+// tag map, one ClockPolicy over every line, one fresh-line list, one stall
+// list, full-warp serialization on every probe.
+// --------------------------------------------------------------------------
+class LegacyCache {
+ public:
+  static constexpr std::uint32_t npos = core::ClockPolicy::npos;
+
+  LegacyCache(gpu::Hbm& hbm, std::uint32_t lineCount,
+              core::CacheCosts costs = core::agileCacheCosts(),
+              std::uint32_t /*shards*/ = 1)
+      : lineCount_(lineCount), policy_(lineCount), costs_(costs),
+        lines_(lineCount) {
+    slab_ = hbm.allocBytes(static_cast<std::uint64_t>(lineCount) *
+                           nvme::kLbaBytes);
+    freshLines_.reserve(lineCount);
+    for (std::uint32_t i = 0; i < lineCount; ++i) {
+      lines_[i].data = slab_ + static_cast<std::uint64_t>(i) * nvme::kLbaBytes;
+      lines_[i].stallWaiters = &stallWaiters_;
+      lines_[i].busyCounter = &busyCount_;
+      freshLines_.push_back(lineCount - 1 - i);
+    }
+    map_.reserve(lineCount * 2);
+  }
+
+  std::uint32_t shardCount() const { return 1; }
+  core::CacheLine& line(std::uint32_t i) { return lines_[i]; }
+  sim::WaitList& stallWaiters(std::uint32_t /*shard*/ = 0) {
+    return stallWaiters_;
+  }
+  core::CacheStats stats() const { return stats_; }
+  std::uint32_t busyLinesSlow() const {
+    std::uint32_t n = 0;
+    for (const auto& l : lines_) n += l.state == core::LineState::kBusy;
+    return n;
+  }
+
+  core::ProbeResult probeOrClaim(gpu::KernelCtx& ctx, std::uint64_t tag) {
+    ctx.chargeSerialized(costs_.probe);
+    auto it = map_.find(tag);
+    if (it != map_.end()) {
+      core::CacheLine& l = lines_[it->second];
+      switch (l.state) {
+        case core::LineState::kReady:
+        case core::LineState::kModified:
+          ++stats_.hits;
+          policy_.onTouch(it->second);
+          return {core::ProbeOutcome::kHit, it->second, 0};
+        case core::LineState::kBusy:
+          ++stats_.busyHits;
+          return {core::ProbeOutcome::kBusy, it->second, 0};
+        case core::LineState::kInvalid:
+          map_.erase(it);
+          l.tag = core::kNoTag;
+          break;
+      }
+    }
+    ++stats_.misses;
+    std::uint32_t v;
+    if (!freshLines_.empty()) {
+      v = freshLines_.back();
+      freshLines_.pop_back();
+    } else {
+      v = policy_.selectVictim(lines_, ctx);
+    }
+    if (v == npos) {
+      ++stats_.victimStalls;
+      return {core::ProbeOutcome::kStall, 0, 0};
+    }
+    core::CacheLine& vic = lines_[v];
+    if (vic.state == core::LineState::kModified) {
+      ctx.chargeSerialized(costs_.evict);
+      vic.setBusy(/*evict=*/true);
+      ++stats_.writebacks;
+      return {core::ProbeOutcome::kNeedWriteback, v, 0};
+    }
+    if (vic.state == core::LineState::kReady) {
+      ctx.chargeSerialized(costs_.evict);
+      ++stats_.evictions;
+      policy_.onEvict(v);
+    }
+    if (vic.tag != core::kNoTag) {
+      auto old = map_.find(vic.tag);
+      if (old != map_.end() && old->second == v) map_.erase(old);
+    }
+    ctx.chargeSerialized(costs_.insert);
+    vic.tag = tag;
+    vic.setBusy(/*evict=*/false);
+    map_[tag] = v;
+    policy_.onFill(v);
+    return {core::ProbeOutcome::kClaimed, v, 0};
+  }
+
+  void markModified(std::uint32_t lineIdx) {
+    lines_[lineIdx].state = core::LineState::kModified;
+  }
+
+ private:
+  std::uint32_t lineCount_;
+  core::ClockPolicy policy_;
+  core::CacheCosts costs_;
+  std::vector<core::CacheLine> lines_;
+  std::vector<std::uint32_t> freshLines_;
+  std::uint32_t busyCount_ = 0;
+  sim::WaitList stallWaiters_;
+  std::unordered_map<std::uint64_t, std::uint32_t> map_;
+  std::byte* slab_ = nullptr;
+  core::CacheStats stats_;
+};
+
+// --------------------------------------------------------------------------
+// Contended probe/fill driver, shared by both containers.
+// --------------------------------------------------------------------------
+struct RunResult {
+  SimTime ns = 0;           // virtual time for all lanes to finish
+  double bestWallMs = 0;    // fastest round, host wall clock
+  std::uint64_t ops = 0;
+  std::uint64_t hash = 0;   // order-sensitive (outcome, line, now) fold
+  std::uint64_t stalls = 0;
+  std::uint64_t writebacks = 0;
+  std::size_t arenaEvents = 0;   // slab capacity planned by round 0
+};
+
+inline std::uint64_t mix(std::uint64_t h, std::uint64_t x) {
+  return (h ^ x) * 0x100000001b3ull;
+}
+
+template <class Cache>
+RunResult runContended(std::uint32_t shards, std::uint32_t opsPerLane,
+                       std::uint32_t rounds) {
+  RunResult out;
+  sim::SlabArenaPlan plan(1);
+  for (std::uint32_t round = 0; round < rounds; ++round) {
+    sim::Engine eng;
+    plan.apply(0, eng);  // no-op on round 0, one arena afterwards
+    gpu::Gpu gpu(eng, gpu::GpuConfig{});
+    Cache cache(gpu.hbm(), kLines, core::agileCacheCosts(), shards);
+
+    std::uint64_t hash = 1469598103934665603ull;
+    std::uint64_t ops = 0;
+    auto body = [&](gpu::KernelCtx& ctx) -> gpu::GpuTask<void> {
+      const std::uint32_t tid = ctx.globalThreadIdx();
+      for (std::uint32_t op = 0; op < opsPerLane; ++op) {
+        std::uint64_t h = (static_cast<std::uint64_t>(tid) * opsPerLane + op) *
+                              0x9e3779b97f4a7c15ull +
+                          0x2545f4914f6cdd1dull;
+        h ^= h >> 29;
+        h *= 0xbf58476d1ce4e5b9ull;
+        h ^= h >> 32;
+        const std::uint64_t tag = core::makeTag(0, h % kTagSpace);
+        for (std::uint32_t attempt = 0;; ++attempt) {
+          AGILE_CHECK_MSG(attempt < 100000, "probe retry budget exhausted");
+          const core::ProbeResult r = cache.probeOrClaim(ctx, tag);
+          hash = mix(mix(mix(hash, static_cast<std::uint64_t>(r.outcome)),
+                         r.line),
+                     static_cast<std::uint64_t>(ctx.engine().now()));
+          if (r.outcome == core::ProbeOutcome::kHit) {
+            // A slice of hits dirties the line to keep the writeback/evict
+            // path under load too.
+            if ((tag & 7u) == 0) cache.markModified(r.line);
+            ++ops;
+            break;
+          }
+          if (r.outcome == core::ProbeOutcome::kBusy) {
+            co_await ctx.parkOn(cache.line(r.line).readyWaiters);
+          } else if (r.outcome == core::ProbeOutcome::kClaimed) {
+            core::CacheLine* line = &cache.line(r.line);
+            sim::Engine* e = &ctx.engine();
+            e->scheduleAfter(kFillNs, [line, e] {
+              line->onFillComplete(*e, nvme::Status::kSuccess);
+            });
+            co_await ctx.parkOn(line->readyWaiters);
+          } else if (r.outcome == core::ProbeOutcome::kNeedWriteback) {
+            core::CacheLine* line = &cache.line(r.line);
+            sim::Engine* e = &ctx.engine();
+            e->scheduleAfter(kWritebackNs, [line, e] {
+              line->onWritebackComplete(*e, nvme::Status::kSuccess);
+            });
+            co_await ctx.parkOn(line->freedWaiters);
+          } else {  // kStall: park on the shard that must free a line
+            co_await ctx.parkOn(cache.stallWaiters(r.shard));
+          }
+        }
+      }
+    };
+
+    const auto t0 = std::chrono::steady_clock::now();
+    auto k = gpu.launch(
+        {.gridDim = kBlocks, .blockDim = kBlockDim, .name = "cache-probe"},
+        body);
+    const bool ok = gpu.wait(k, 120_s);
+    const auto t1 = std::chrono::steady_clock::now();
+    AGILE_CHECK_MSG(ok, "cache_probe kernel hung");
+    AGILE_CHECK(cache.busyLinesSlow() == 0 || eng.pendingEvents() > 0);
+    eng.runToCompletion();  // drain straggler fill timers
+
+    const double wallMs =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    if (round == 0) {
+      out.ns = eng.now();
+      out.hash = hash;
+      out.ops = ops;
+      out.stalls = cache.stats().victimStalls;
+      out.writebacks = cache.stats().writebacks;
+      out.bestWallMs = wallMs;
+    } else {
+      // Determinism across rounds: the arena reservation must not change
+      // the simulation in any way.
+      AGILE_CHECK_MSG(eng.now() == out.ns && hash == out.hash,
+                      "arena-planned round diverged");
+      if (wallMs < out.bestWallMs) out.bestWallMs = wallMs;
+      // The planned arena must absorb the whole replay: memory-flat means
+      // no growth chunks past the reservation.
+      AGILE_CHECK_MSG(eng.slabChunks() == 1,
+                      "arena-planned round fell back to chunked growth");
+    }
+    plan.observe(0, eng);
+    if (round == 0) out.arenaEvents = plan.eventsFor(0);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = bench::quickMode(argc, argv);
+  bench::printHeader("cache probe",
+                     "contended probe/fill throughput, sharded cache vs "
+                     "compiled-in single-map baseline (1024 lanes, 4096 lines)");
+
+  const std::uint32_t opsPerLane = quick ? 120 : 400;
+  const std::uint32_t rounds = quick ? 2 : 3;
+  std::vector<std::uint32_t> shardCounts = quick
+                                               ? std::vector<std::uint32_t>{1, 8}
+                                               : std::vector<std::uint32_t>{
+                                                     1, 2, 4, 8, 16};
+
+  const RunResult legacy =
+      runContended<LegacyCache>(1, opsPerLane, rounds);
+  std::vector<RunResult> sharded(shardCounts.size());
+  sim::SweepStats stats(shardCounts.size());
+  for (std::size_t i = 0; i < shardCounts.size(); ++i) {
+    sharded[i] = runContended<core::SoftwareCache<core::ClockPolicy>>(
+        shardCounts[i], opsPerLane, rounds);
+    stats.record(i, "cache.victimStalls", sharded[i].stalls);
+    stats.record(i, "cache.writebacks", sharded[i].writebacks);
+    stats.record(i, "arena.events", sharded[i].arenaEvents);
+  }
+
+  // Headline determinism proof: the shards=1 container replays the legacy
+  // baseline bit for bit.
+  const bool deterministic = sharded[0].hash == legacy.hash &&
+                             sharded[0].ns == legacy.ns &&
+                             sharded[0].stalls == legacy.stalls;
+  AGILE_CHECK_MSG(deterministic, "shards=1 diverged from the legacy cache");
+
+  TablePrinter table({"cache", "virtual(ms)", "Mops/vsec", "speedup",
+                      "stalls", "wall(ms)"});
+  const double legacyMs = bench::toMs(legacy.ns);
+  auto mops = [](const RunResult& r) {
+    return static_cast<double>(r.ops) * 1e3 /
+           static_cast<double>(r.ns);  // ops per virtual ms -> Mops/s
+  };
+  table.addRow({"legacy", TablePrinter::fmt(legacyMs, 3),
+                TablePrinter::fmt(mops(legacy)), "x1.00",
+                std::to_string(legacy.stalls),
+                TablePrinter::fmt(legacy.bestWallMs, 1)});
+  double speedupAt8 = 0;
+  double geoLog = 0;
+  for (std::size_t i = 0; i < shardCounts.size(); ++i) {
+    const double speedup = legacyMs / bench::toMs(sharded[i].ns);
+    if (shardCounts[i] >= 8 && speedupAt8 == 0) speedupAt8 = speedup;
+    geoLog += std::log(speedup);
+    table.addRow({"shards" + std::to_string(shardCounts[i]),
+                  TablePrinter::fmt(bench::toMs(sharded[i].ns), 3),
+                  TablePrinter::fmt(mops(sharded[i])),
+                  "x" + TablePrinter::fmt(speedup),
+                  std::to_string(sharded[i].stalls),
+                  TablePrinter::fmt(sharded[i].bestWallMs, 1)});
+  }
+  const double geomean = std::exp(geoLog / shardCounts.size());
+  table.print();
+  std::printf("shards=1 determinism vs legacy: %s; x%.2f at 8 shards\n",
+              deterministic ? "match" : "MISMATCH", speedupAt8);
+  std::fputs(stats.render("cache_probe").c_str(), stdout);
+
+  std::FILE* f = std::fopen("BENCH_cache.json", "w");
+  AGILE_CHECK_MSG(f != nullptr, "cannot open BENCH_cache.json");
+  std::fprintf(f, "{\n  \"bench\": \"cache_probe\",\n  \"quick\": %s,\n",
+               quick ? "true" : "false");
+  std::fprintf(f, "  \"workloads\": [\n");
+  auto wall = [](const RunResult& r) {
+    return static_cast<double>(r.ops) / (r.bestWallMs * 1e-3);
+  };
+  std::fprintf(f,
+               "    {\"name\": \"legacy\", \"virtual_ms\": %.3f, "
+               "\"ops\": %" PRIu64 ", \"new_events_per_sec\": %.0f, "
+               "\"speedup\": 1.0},\n",
+               legacyMs, legacy.ops, wall(legacy));
+  for (std::size_t i = 0; i < shardCounts.size(); ++i) {
+    std::fprintf(f,
+                 "    {\"name\": \"shards%u\", \"virtual_ms\": %.3f, "
+                 "\"ops\": %" PRIu64 ", \"new_events_per_sec\": %.0f, "
+                 "\"speedup\": %.3f}%s\n",
+                 shardCounts[i], bench::toMs(sharded[i].ns), sharded[i].ops,
+                 wall(sharded[i]), legacyMs / bench::toMs(sharded[i].ns),
+                 i + 1 < shardCounts.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"determinism_match\": %s,\n",
+               deterministic ? "true" : "false");
+  std::fprintf(f, "  \"speedup_at_8_shards\": %.3f,\n", speedupAt8);
+  std::fprintf(f, "  \"geomean_speedup\": %.3f\n}\n", geomean);
+  std::fclose(f);
+  std::printf("wrote BENCH_cache.json\n");
+  return 0;
+}

@@ -104,19 +104,45 @@ class AgileAccessor {
     return core::elemAddr<T>(idx).byteOff / sizeof(T);
   }
 
+  // Pressure threshold of the adaptive pipeline: stop extending the
+  // prefetch window while the target line's shard is >= 3/4 BUSY. Past that
+  // point prefetch-ahead is evicting its own working set, so the pipeline
+  // degrades toward the synchronous loop instead of cliffing
+  // (bench/async_gather documents the cliff past threads x (K+1) ~ lines).
+  static constexpr std::uint32_t kPressureNum = 3;
+  static constexpr std::uint32_t kPressureDen = 4;
+
+  // True when the shard that would hold element `idx`'s page is saturated
+  // with in-flight fills/writebacks. One O(1) counter read, charged as a
+  // single word access.
+  bool shardSaturated(gpu::KernelCtx& ctx, std::uint64_t idx) {
+    auto& cache = ctrl_->cache();
+    const std::uint32_t s =
+        cache.shardOfTag(core::makeTag(dev_, core::elemAddr<T>(idx).lba));
+    ctx.charge(cost::kWordAccess);
+    return cache.busyLines(s) * kPressureDen >=
+           cache.shardLineCount(s) * kPressureNum;
+  }
+
   // Depth-K pipelined gather: the prefetch of idxs[i + depth] overlaps the
   // synchronous read of idxs[i], so SSD latency hides behind the reads
   // instead of serializing per element. depth == 0 degenerates to the plain
-  // synchronous loop (the comparison baseline).
+  // synchronous loop (the comparison baseline). With `adaptive` set (the
+  // default) `depth` is a ceiling: the effective window is throttled by
+  // live per-shard cache pressure, so an over-deep pipeline on an
+  // undersized cache degrades to sync instead of thrashing.
   gpu::GpuTask<void> gather(gpu::KernelCtx& ctx,
                             std::span<const std::uint64_t> idxs,
                             std::span<T> out, core::AgileLockChain& chain,
-                            std::uint32_t depth = 8) {
+                            std::uint32_t depth = 8, bool adaptive = true) {
     const std::size_t n = idxs.size();
     std::size_t ahead = 0;
     for (std::size_t i = 0; i < n; ++i) {
       if (depth > 0) {
         for (; ahead < n && ahead < i + depth; ++ahead) {
+          if (adaptive && ahead > i && shardSaturated(ctx, idxs[ahead])) {
+            break;  // shard full: issuing more would evict our own window
+          }
           co_await ctrl_->prefetchDivergent(
               ctx, dev_, core::elemAddr<T>(idxs[ahead]).lba, chain);
         }

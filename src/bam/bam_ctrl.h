@@ -31,6 +31,10 @@ namespace agile::bam {
 
 struct BamConfig {
   std::uint32_t cacheLines = 1024;
+  // Cache shard count; 0 = power-of-two default derived from cacheLines
+  // (see core::SoftwareCache). BaM shares the sharded container, so the
+  // baseline's heavier per-op costs stay comparable at scale.
+  std::uint32_t cacheShards = 0;
   std::uint32_t maxRetries = 100000;
 };
 
@@ -50,7 +54,8 @@ class BamCtrl {
   BamCtrl(core::AgileHost& host, BamConfig cfg = {})
       : host_(&host),
         cfg_(cfg),
-        cache_(host.gpu().hbm(), cfg.cacheLines, core::bamCacheCosts()) {
+        cache_(host.gpu().hbm(), cfg.cacheLines, core::bamCacheCosts(),
+               cfg.cacheShards) {
     AGILE_CHECK_MSG(host.nvmeReady(), "BamCtrl requires initNvme()");
     AGILE_CHECK_MSG(!host.serviceRunning(),
                     "BaM polls inline; do not start the AGILE service");

@@ -16,11 +16,24 @@
 // Clock (the paper's default, after Corbató), LRU, FIFO and Random. A policy
 // only chooses victims and maintains touch metadata; state transitions are
 // policy-independent.
+//
+// The container is set-associative and sharded: lines are partitioned by
+// hashed tag bits into N shards, each owning its own tag map, replacement
+// policy instance, fresh-line free list, BUSY-line counter and all-BUSY
+// stall list. Probes to different shards share no mutable state, victim
+// scans cover one shard instead of the whole cache, and a completion that
+// frees a line wakes only claimants stalled on that shard. shards == 1
+// reproduces the original fully-associative container exactly (same victim
+// order, same charges, same stats); see docs/ARCHITECTURE.md.
 #pragma once
 
+#include <algorithm>
+#include <bit>
 #include <cstdint>
 #include <cstring>
+#include <deque>
 #include <limits>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -29,7 +42,6 @@
 #include "common/types.h"
 #include "core/buf.h"
 #include "core/cost_model.h"
-#include "core/lock.h"
 #include "gpu/exec.h"
 #include "nvme/defs.h"
 #include "sim/engine.h"
@@ -64,11 +76,13 @@ struct CacheLine {
   AgileBuf* bufWaitHead = nullptr;
   sim::WaitList readyWaiters;
   sim::WaitList freedWaiters;
-  // Cache-wide list of threads stalled because every victim candidate was
-  // BUSY (§3.4 case (d) under thrash); any line leaving BUSY admits one.
+  // The owning shard's list of threads stalled because every victim
+  // candidate in that shard was BUSY (§3.4 case (d) under thrash); this
+  // line leaving BUSY admits one claimant of its shard only.
   sim::WaitList* stallWaiters = nullptr;
-  // Cache-wide count of BUSY lines, maintained on every BUSY transition so
-  // SoftwareCache::busyLines() is O(1) (benches poll it inside loops).
+  // The owning shard's count of BUSY lines, maintained on every BUSY
+  // transition so SoftwareCache::busyLines(shard) is O(1) (benches and the
+  // adaptive accessors poll it inside loops).
   std::uint32_t* busyCounter = nullptr;
 
   // All BUSY transitions must go through these two helpers: they write the
@@ -99,10 +113,12 @@ struct CacheLine {
 
   // --- service-side transitions ---
 
-  // Fill completion: deliver data to every waiting buffer, wake sync
-  // readers. On error the line is dropped back to INVALID and waiters retry.
-  void onFillComplete(sim::Engine& engine, nvme::Status status) {
-    AGILE_CHECK(state == LineState::kBusy && !evicting);
+  // Detach and complete every attached buffer waiter with `status`,
+  // copying the line's data on success. One source of truth for the
+  // waiter-list protocol: used by the fill-completion path below and by
+  // the I/O watchdog's fill-timeout path (io_queues.cc), which errors the
+  // waiters while the frame stays pinned.
+  void completeBufWaiters(sim::Engine& engine, nvme::Status status) {
     AgileBuf* w = bufWaitHead;
     bufWaitHead = nullptr;
     while (w != nullptr) {
@@ -114,6 +130,13 @@ struct CacheLine {
       w->barrier().complete(engine, status);
       w = next;
     }
+  }
+
+  // Fill completion: deliver data to every waiting buffer, wake sync
+  // readers. On error the line is dropped back to INVALID and waiters retry.
+  void onFillComplete(sim::Engine& engine, nvme::Status status) {
+    AGILE_CHECK(state == LineState::kBusy && !evicting);
+    completeBufWaiters(engine, status);
     clearBusy(status == nvme::Status::kSuccess ? LineState::kReady
                                                : LineState::kInvalid);
     readyWaiters.notifyAll(engine);
@@ -170,12 +193,16 @@ enum class ProbeOutcome : std::uint8_t {
   kBusy,           // fill in flight: wait or append buffer
   kClaimed,        // line claimed for this tag, caller must issue the fill
   kNeedWriteback,  // victim was MODIFIED: caller must issue the writeback
-  kStall,          // every candidate BUSY: back off and retry
+  kStall,          // every candidate in the tag's shard BUSY: park and retry
 };
 
 struct ProbeResult {
   ProbeOutcome outcome;
   std::uint32_t line = 0;
+  // Shard the probed tag maps to; a kStall caller parks on this shard's
+  // stall list so only completions that can actually free a candidate line
+  // wake it.
+  std::uint32_t shard = 0;
 };
 
 // CRTP base: compile-time polymorphism for policies, mirroring the paper's
@@ -187,7 +214,9 @@ class CachePolicyBase {
   void onFill(std::uint32_t line) { self().doFill(line); }
   void onEvict(std::uint32_t line) { self().doEvict(line); }
   // Scans for a victim among non-BUSY lines; npos when all candidates BUSY.
-  std::uint32_t selectVictim(const std::vector<CacheLine>& lines,
+  // `lines` is the owning shard's slice of the cache; indices are
+  // shard-local ([0, lines.size())).
+  std::uint32_t selectVictim(std::span<const CacheLine> lines,
                              gpu::KernelCtx& ctx) {
     return self().doSelectVictim(lines, ctx);
   }
@@ -210,7 +239,7 @@ class ClockPolicy : public CachePolicyBase<ClockPolicy> {
   void doFill(std::uint32_t line) { ref_[line] = 1; }
   void doEvict(std::uint32_t line) { ref_[line] = 0; }
 
-  std::uint32_t doSelectVictim(const std::vector<CacheLine>& lines,
+  std::uint32_t doSelectVictim(std::span<const CacheLine> lines,
                                gpu::KernelCtx& ctx) {
     const std::uint32_t n = static_cast<std::uint32_t>(lines.size());
     for (std::uint32_t step = 0; step < 2 * n; ++step) {
@@ -248,7 +277,7 @@ class LruPolicy : public CachePolicyBase<LruPolicy> {
   void doFill(std::uint32_t line) { moveToFront(line); }
   void doEvict(std::uint32_t /*line*/) {}
 
-  std::uint32_t doSelectVictim(const std::vector<CacheLine>& lines,
+  std::uint32_t doSelectVictim(std::span<const CacheLine> lines,
                                gpu::KernelCtx& ctx) {
     // Walk from the LRU tail, skipping BUSY lines.
     for (std::uint32_t i = tail_; i != kNil; i = prev_[i]) {
@@ -291,7 +320,7 @@ class FifoPolicy : public CachePolicyBase<FifoPolicy> {
   void doFill(std::uint32_t) {}
   void doEvict(std::uint32_t) {}
 
-  std::uint32_t doSelectVictim(const std::vector<CacheLine>& lines,
+  std::uint32_t doSelectVictim(std::span<const CacheLine> lines,
                                gpu::KernelCtx& ctx) {
     for (std::uint32_t step = 0; step < n_; ++step) {
       ctx.charge(cost::kPolicyStep);
@@ -317,7 +346,7 @@ class RandomPolicy : public CachePolicyBase<RandomPolicy> {
   void doFill(std::uint32_t) {}
   void doEvict(std::uint32_t) {}
 
-  std::uint32_t doSelectVictim(const std::vector<CacheLine>& lines,
+  std::uint32_t doSelectVictim(std::span<const CacheLine> lines,
                                gpu::KernelCtx& ctx) {
     for (std::uint32_t k = 0; k < 32; ++k) {
       ctx.charge(cost::kPolicyStep);
@@ -332,80 +361,164 @@ class RandomPolicy : public CachePolicyBase<RandomPolicy> {
   Rng rng_;
 };
 
-// The software cache proper.
+// The software cache proper: an N-way sharded, set-associative container.
+//
+// Shard selection hashes the tag (Fibonacci multiplicative hash over the
+// packed (dev, lba) bits) so strided LBA streams spread across shards
+// instead of convoying on one set. A tag can live only in its shard; with
+// shards == 1 the container degenerates to the original fully-associative
+// design and reproduces it bit-for-bit (same probes, charges, victim order
+// and stats — the figure benches are byte-identical, see
+// docs/ARCHITECTURE.md "Cache sharding").
 template <class Policy>
 class SoftwareCache {
  public:
   static constexpr std::uint32_t npos = Policy::npos;
 
+  // shards == 0 selects the power-of-two default derived from lineCount:
+  // one shard per kAutoLinesPerShard lines, clamped to [1, kMaxShards].
+  // Small caches (every figure-bench configuration) stay single-shard —
+  // i.e. exactly the paper's design; production-scale line counts shard
+  // automatically. An explicit shard count must be a power of two.
+  static constexpr std::uint32_t kAutoLinesPerShard = 16384;
+  static constexpr std::uint32_t kMaxShards = 64;
+
+  static constexpr std::uint32_t autoShardCount(std::uint32_t lineCount) {
+    const std::uint32_t raw = lineCount / kAutoLinesPerShard;
+    if (raw <= 1) return 1;
+    return std::min(std::bit_floor(raw), kMaxShards);
+  }
+
   SoftwareCache(gpu::Hbm& hbm, std::uint32_t lineCount,
-                CacheCosts costs = agileCacheCosts())
+                CacheCosts costs = agileCacheCosts(), std::uint32_t shards = 0)
       : lineCount_(lineCount),
-        policy_(lineCount),
-        lock_("sw-cache"),
+        shardCount_(shards == 0 ? autoShardCount(lineCount) : shards),
         costs_(costs),
-        lines_(lineCount) {
+        lines_(lineCount),
+        lineShard_(lineCount) {
     AGILE_CHECK(lineCount >= 1);
+    AGILE_CHECK_MSG(std::has_single_bit(shardCount_),
+                    "cache shard count must be a power of two");
+    AGILE_CHECK_MSG(shardCount_ <= lineCount,
+                    "more cache shards than lines");
+    shardBits_ = static_cast<std::uint32_t>(std::bit_width(shardCount_) - 1);
     slab_ = hbm.allocBytes(static_cast<std::uint64_t>(lineCount) *
                            nvme::kLbaBytes);
-    freshLines_.reserve(lineCount);
-    for (std::uint32_t i = 0; i < lineCount; ++i) {
-      lines_[i].data = slab_ + static_cast<std::uint64_t>(i) * nvme::kLbaBytes;
-      lines_[i].stallWaiters = &stallWaiters_;
-      lines_[i].busyCounter = &busyCount_;
-      // Popped back-to-front so frames fill in index order.
-      freshLines_.push_back(lineCount - 1 - i);
+    // Carve [0, lineCount) into contiguous per-shard slices; a lineCount
+    // that is not a multiple of the shard count spreads the remainder over
+    // the leading shards (sizes differ by at most one line).
+    std::uint32_t base = 0;
+    for (std::uint32_t s = 0; s < shardCount_; ++s) {
+      const std::uint32_t count =
+          lineCount / shardCount_ + (s < lineCount % shardCount_ ? 1 : 0);
+      Shard& sh = shards_.emplace_back(base, count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        CacheLine& l = lines_[base + i];
+        l.data = slab_ +
+                 static_cast<std::uint64_t>(base + i) * nvme::kLbaBytes;
+        l.stallWaiters = &sh.stallWaiters;
+        l.busyCounter = &sh.busyCount;
+        lineShard_[base + i] = s;
+        // Popped back-to-front so frames fill in index order.
+        sh.freshLines.push_back(base + count - 1 - i);
+      }
+      sh.map.reserve(count * 2);
+      base += count;
     }
-    map_.reserve(lineCount * 2);
   }
 
   std::uint32_t lineCount() const { return lineCount_; }
   CacheLine& line(std::uint32_t i) { return lines_[i]; }
-  Policy& policy() { return policy_; }
-  const CacheStats& stats() const { return stats_; }
-  void resetStats() { stats_ = {}; }
-  AgileLock& lock() { return lock_; }
   const CacheCosts& costs() const { return costs_; }
 
-  // One atomic probe-or-claim step (runs within a single lane segment, i.e.
-  // the critical section the paper guards with the cache lock). The caller
-  // loops on kStall / kNeedWriteback outcomes with awaits in between.
+  // --- shard geometry ---
+  std::uint32_t shardCount() const { return shardCount_; }
+  std::uint32_t shardOfTag(std::uint64_t tag) const {
+    if (shardCount_ == 1) return 0;
+    return static_cast<std::uint32_t>((tag * 0x9e3779b97f4a7c15ull) >>
+                                      (64 - shardBits_));
+  }
+  std::uint32_t shardOfLine(std::uint32_t lineIdx) const {
+    return lineShard_[lineIdx];
+  }
+  std::uint32_t shardBase(std::uint32_t shard) const {
+    return shards_[shard].base;
+  }
+  std::uint32_t shardLineCount(std::uint32_t shard) const {
+    return shards_[shard].count;
+  }
+
+  // Replacement-policy instance of one shard (shard 0 == the whole cache
+  // when unsharded).
+  Policy& policy(std::uint32_t shard = 0) { return shards_[shard].policy; }
+
+  // Merged statistics across shards (per-shard counters are disjoint, so
+  // the merge is a plain sum). shardStats() exposes one shard's slice for
+  // tests and per-shard sweep telemetry.
+  CacheStats stats() const {
+    CacheStats out;
+    for (const Shard& sh : shards_) {
+      out.hits += sh.stats.hits;
+      out.misses += sh.stats.misses;
+      out.busyHits += sh.stats.busyHits;
+      out.evictions += sh.stats.evictions;
+      out.writebacks += sh.stats.writebacks;
+      out.victimStalls += sh.stats.victimStalls;
+      out.cancelledClaims += sh.stats.cancelledClaims;
+    }
+    return out;
+  }
+  const CacheStats& shardStats(std::uint32_t shard) const {
+    return shards_[shard].stats;
+  }
+  void resetStats() {
+    for (Shard& sh : shards_) sh.stats = {};
+  }
+
+  // One atomic probe-or-claim step (runs within a single lane segment —
+  // the critical section the paper guards with the cache lock, charged per
+  // shard via chargeSharded). The caller loops on kStall / kNeedWriteback
+  // outcomes with awaits in between.
   ProbeResult probeOrClaim(gpu::KernelCtx& ctx, std::uint64_t tag) {
-    ctx.chargeSerialized(costs_.probe);
-    auto it = map_.find(tag);
-    if (it != map_.end()) {
+    const std::uint32_t si = shardOfTag(tag);
+    Shard& sh = shards_[si];
+    ctx.chargeSharded(costs_.probe, shardCount_);
+    auto it = sh.map.find(tag);
+    if (it != sh.map.end()) {
       CacheLine& l = lines_[it->second];
       AGILE_CHECK(l.tag == tag);
       switch (l.state) {
         case LineState::kReady:
         case LineState::kModified:
-          ++stats_.hits;
-          policy_.onTouch(it->second);
-          return {ProbeOutcome::kHit, it->second};
+          ++sh.stats.hits;
+          sh.policy.onTouch(it->second - sh.base);
+          return {ProbeOutcome::kHit, it->second, si};
         case LineState::kBusy:
-          ++stats_.busyHits;
-          return {ProbeOutcome::kBusy, it->second};
+          ++sh.stats.busyHits;
+          return {ProbeOutcome::kBusy, it->second, si};
         case LineState::kInvalid:
           // A finished eviction left the mapping behind; drop it and fall
           // through to the miss path.
-          map_.erase(it);
+          sh.map.erase(it);
           l.tag = kNoTag;
           break;
       }
     }
-    ++stats_.misses;
+    ++sh.stats.misses;
     // Miss: never-used lines are consumed before the policy evicts anything
     // (all policies fill empty frames first).
     std::uint32_t v;
-    if (!freshLines_.empty()) {
-      v = freshLines_.back();
-      freshLines_.pop_back();
+    if (!sh.freshLines.empty()) {
+      v = sh.freshLines.back();
+      sh.freshLines.pop_back();
     } else {
-      v = policy_.selectVictim(lines_, ctx);
+      const std::uint32_t local = sh.policy.selectVictim(
+          std::span<const CacheLine>(lines_.data() + sh.base, sh.count), ctx);
+      v = local == Policy::npos ? Policy::npos : sh.base + local;
     }
     if (v == Policy::npos) {
-      ++stats_.victimStalls;
-      return {ProbeOutcome::kStall, 0};
+      ++sh.stats.victimStalls;
+      return {ProbeOutcome::kStall, 0, si};
     }
     CacheLine& vic = lines_[v];
     AGILE_CHECK(vic.state != LineState::kBusy);
@@ -413,56 +526,58 @@ class SoftwareCache {
       // Case (d): dirty victim — caller issues the writeback; the line stays
       // mapped (and BUSY) until the data lands on the SSD so concurrent
       // readers of the old tag cannot observe stale flash content.
-      ctx.chargeSerialized(costs_.evict);
+      ctx.chargeSharded(costs_.evict, shardCount_);
       vic.setBusy(/*evict=*/true);
-      ++stats_.writebacks;
-      return {ProbeOutcome::kNeedWriteback, v};
+      ++sh.stats.writebacks;
+      return {ProbeOutcome::kNeedWriteback, v, si};
     }
     if (vic.state == LineState::kReady) {
-      ctx.chargeSerialized(costs_.evict);
-      ++stats_.evictions;
-      policy_.onEvict(v);
+      ctx.chargeSharded(costs_.evict, shardCount_);
+      ++sh.stats.evictions;
+      sh.policy.onEvict(v - sh.base);
     }
     // Drop any stale mapping the victim still carries (READY eviction, or an
     // INVALID line left mapped by a completed writeback / failed fill).
     if (vic.tag != kNoTag) {
-      auto old = map_.find(vic.tag);
-      if (old != map_.end() && old->second == v) map_.erase(old);
+      auto old = sh.map.find(vic.tag);
+      if (old != sh.map.end() && old->second == v) sh.map.erase(old);
     }
     // Claim for the new tag.
-    ctx.chargeSerialized(costs_.insert);
+    ctx.chargeSharded(costs_.insert, shardCount_);
     vic.tag = tag;
     vic.setBusy(/*evict=*/false);
-    map_[tag] = v;
-    policy_.onFill(v);
-    return {ProbeOutcome::kClaimed, v};
+    sh.map[tag] = v;
+    sh.policy.onFill(v - sh.base);
+    return {ProbeOutcome::kClaimed, v, si};
   }
 
   // Probe without claiming (used by asyncRead, which falls back to a direct
   // SSD->buffer transfer on miss instead of occupying a line).
   ProbeResult probeOnly(gpu::KernelCtx& ctx, std::uint64_t tag) {
-    ctx.chargeSerialized(costs_.probe);
-    auto it = map_.find(tag);
-    if (it == map_.end()) {
-      ++stats_.misses;
-      return {ProbeOutcome::kStall, 0};
+    const std::uint32_t si = shardOfTag(tag);
+    Shard& sh = shards_[si];
+    ctx.chargeSharded(costs_.probe, shardCount_);
+    auto it = sh.map.find(tag);
+    if (it == sh.map.end()) {
+      ++sh.stats.misses;
+      return {ProbeOutcome::kStall, 0, si};
     }
     CacheLine& l = lines_[it->second];
     switch (l.state) {
       case LineState::kReady:
       case LineState::kModified:
-        ++stats_.hits;
-        policy_.onTouch(it->second);
-        return {ProbeOutcome::kHit, it->second};
+        ++sh.stats.hits;
+        sh.policy.onTouch(it->second - sh.base);
+        return {ProbeOutcome::kHit, it->second, si};
       case LineState::kBusy:
         if (l.evicting) break;  // writeback in flight: treat as miss
-        ++stats_.busyHits;
-        return {ProbeOutcome::kBusy, it->second};
+        ++sh.stats.busyHits;
+        return {ProbeOutcome::kBusy, it->second, si};
       case LineState::kInvalid:
         break;
     }
-    ++stats_.misses;
-    return {ProbeOutcome::kStall, 0};
+    ++sh.stats.misses;
+    return {ProbeOutcome::kStall, 0, si};
   }
 
   // Mark a (hit) line dirty after an in-place store.
@@ -474,8 +589,9 @@ class SoftwareCache {
 
   // Lookup for coherency updates from the write path; npos if absent.
   std::uint32_t findLine(std::uint64_t tag) const {
-    auto it = map_.find(tag);
-    return it == map_.end() ? Policy::npos : it->second;
+    const Shard& sh = shards_[shardOfTag(tag)];
+    auto it = sh.map.find(tag);
+    return it == sh.map.end() ? Policy::npos : it->second;
   }
 
   // Abort a claim before its fill was issued (speculative-prefetch cancel):
@@ -484,30 +600,44 @@ class SoftwareCache {
   // line and no buffer waiter is attached.
   void releaseClaim(sim::Engine& engine, std::uint32_t lineIdx) {
     CacheLine& l = lines_[lineIdx];
+    Shard& sh = shards_[lineShard_[lineIdx]];
     AGILE_CHECK_MSG(l.state == LineState::kBusy && !l.evicting,
                     "releaseClaim on a line that is not a pending fill");
     AGILE_CHECK_MSG(l.bufWaitHead == nullptr,
                     "releaseClaim with buffer waiters attached");
-    auto it = map_.find(l.tag);
-    if (it != map_.end() && it->second == lineIdx) map_.erase(it);
+    auto it = sh.map.find(l.tag);
+    if (it != sh.map.end() && it->second == lineIdx) sh.map.erase(it);
     l.tag = kNoTag;
     l.clearBusy(LineState::kInvalid);
-    ++stats_.cancelledClaims;
+    ++sh.stats.cancelledClaims;
     l.readyWaiters.notifyAll(engine);
     l.freedWaiters.notifyAll(engine);
-    stallWaiters_.notifyOne(engine);
+    sh.stallWaiters.notifyOne(engine);
   }
 
-  // Threads stalled on an all-BUSY cache park here (event-driven instead of
-  // timed backoff: any completion that frees a line admits one claimant).
-  sim::WaitList& stallWaiters() { return stallWaiters_; }
+  // Threads stalled on an all-BUSY shard park here (event-driven instead of
+  // timed backoff: any completion that frees one of the shard's lines
+  // admits one claimant — and wakes nobody in other shards).
+  sim::WaitList& stallWaiters(std::uint32_t shard = 0) {
+    return shards_[shard].stallWaiters;
+  }
 
   // Number of lines currently BUSY (used by tests/benches, possibly inside
-  // tight loops). O(1): maintained on the BUSY transitions.
-  std::uint32_t busyLines() const { return busyCount_; }
+  // tight loops, and by the adaptive-depth accessors). O(shards): each
+  // shard maintains its counter on the BUSY transitions.
+  std::uint32_t busyLines() const {
+    std::uint32_t n = 0;
+    for (const Shard& sh : shards_) n += sh.busyCount;
+    return n;
+  }
+  // BUSY lines of one shard — the pressure signal the depth-K accessors
+  // throttle on. O(1).
+  std::uint32_t busyLines(std::uint32_t shard) const {
+    return shards_[shard].busyCount;
+  }
 
   // O(n) reference count over line states; tests assert it always matches
-  // the maintained counter.
+  // the maintained per-shard counters.
   std::uint32_t busyLinesSlow() const {
     std::uint32_t n = 0;
     for (const auto& l : lines_) n += l.state == LineState::kBusy;
@@ -515,17 +645,34 @@ class SoftwareCache {
   }
 
  private:
+  // One set of the cache: everything a probe touches lives here, so probes
+  // to different shards contend on nothing.
+  struct Shard {
+    Shard(std::uint32_t base_, std::uint32_t count_)
+        : base(base_), count(count_), policy(count_) {
+      freshLines.reserve(count_);
+    }
+
+    std::uint32_t base;   // first global line index of this shard
+    std::uint32_t count;  // lines owned by this shard
+    Policy policy;        // victim selection over local indices [0, count)
+    std::vector<std::uint32_t> freshLines;  // never-used lines (global idx)
+    std::uint32_t busyCount = 0;
+    sim::WaitList stallWaiters;
+    std::unordered_map<std::uint64_t, std::uint32_t> map;  // tag -> global idx
+    CacheStats stats;
+  };
+
   std::uint32_t lineCount_;
-  Policy policy_;
-  AgileLock lock_;
+  std::uint32_t shardCount_;
+  std::uint32_t shardBits_ = 0;
   CacheCosts costs_;
   std::vector<CacheLine> lines_;
-  std::vector<std::uint32_t> freshLines_;
-  std::uint32_t busyCount_ = 0;
-  sim::WaitList stallWaiters_;
-  std::unordered_map<std::uint64_t, std::uint32_t> map_;
+  std::vector<std::uint32_t> lineShard_;
+  // WaitList members make Shard non-movable; deque constructs in place and
+  // never relocates (CacheLine::stallWaiters/busyCounter point into it).
+  std::deque<Shard> shards_;
   std::byte* slab_ = nullptr;
-  CacheStats stats_;
 };
 
 }  // namespace agile::core

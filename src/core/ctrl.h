@@ -47,6 +47,10 @@ namespace agile::core {
 
 struct CtrlConfig {
   std::uint32_t cacheLines = 1024;
+  // Cache shard count; 0 derives a power-of-two default from cacheLines
+  // (SoftwareCache::autoShardCount — figure-bench-sized caches stay at one
+  // shard, i.e. the paper's fully-associative design).
+  std::uint32_t cacheShards = 0;
   bool warpCoalescing = true;
   CacheCosts cacheCosts = agileCacheCosts();
   std::uint32_t maxArrayRetries = 100000;
@@ -104,7 +108,8 @@ class AgileCtrl {
   AgileCtrl(AgileHost& host, CtrlConfig cfg = {})
       : host_(&host),
         cfg_(cfg),
-        cache_(host.gpu().hbm(), cfg.cacheLines, cfg.cacheCosts) {
+        cache_(host.gpu().hbm(), cfg.cacheLines, cfg.cacheCosts,
+               cfg.cacheShards) {
     AGILE_CHECK_MSG(host.nvmeReady(), "AgileCtrl requires initNvme()");
   }
 
@@ -276,7 +281,7 @@ class AgileCtrl {
         case ProbeOutcome::kStall:
           // Every candidate line is BUSY: park until a completion frees one
           // (timed backoff would melt down under cache thrash, §4.4/Fig 10).
-          co_await ctx.parkOn(cache_.stallWaiters());
+          co_await ctx.parkOn(cache_.stallWaiters(r.shard));
           break;
       }
     }
@@ -341,7 +346,7 @@ class AgileCtrl {
         case ProbeOutcome::kStall:
           // Every candidate line is BUSY: park until a completion frees one
           // (timed backoff would melt down under cache thrash, §4.4/Fig 10).
-          co_await ctx.parkOn(cache_.stallWaiters());
+          co_await ctx.parkOn(cache_.stallWaiters(r.shard));
           break;
       }
     }
@@ -735,7 +740,7 @@ class AgileCtrl {
         case ProbeOutcome::kStall:
           // Every candidate line is BUSY: park until a completion frees one
           // (timed backoff would melt down under cache thrash, §4.4/Fig 10).
-          co_await ctx.parkOn(cache_.stallWaiters());
+          co_await ctx.parkOn(cache_.stallWaiters(r.shard));
           break;
       }
     }
@@ -999,7 +1004,7 @@ class AgileCtrl {
         case ProbeOutcome::kStall:
           // Every candidate line is BUSY: park until a completion frees one
           // (timed backoff would melt down under cache thrash, §4.4/Fig 10).
-          co_await ctx.parkOn(cache_.stallWaiters());
+          co_await ctx.parkOn(cache_.stallWaiters(r.shard));
           break;
       }
     }

@@ -54,6 +54,10 @@ void AgileHost::initNvme() {
       sq->depth = depth;
       sq->state.assign(depth, SqeState::kEmpty);
       sq->txn.assign(depth, Transaction{});
+      sq->ioTimeoutNs = cfg_.ioTimeoutNs;
+      sq->engine = &engine_;
+      sq->watchdog.assign(depth, sim::TimerId{});
+      sq->cmdGen.assign(depth, 0);
       qps_.sqs.push_back(std::move(sq));
 
       auto cq = std::make_unique<AgileCq>();
@@ -97,6 +101,12 @@ bool AgileHost::runKernel(gpu::LaunchConfig cfg, gpu::KernelFn fn) {
 std::uint32_t AgileHost::pendingTransactions() const {
   std::uint32_t n = 0;
   for (const auto& sq : qps_.sqs) n += sq->inFlight();
+  return n;
+}
+
+std::uint64_t AgileHost::ioTimeouts() const {
+  std::uint64_t n = 0;
+  for (const auto& sq : qps_.sqs) n += sq->timeouts;
   return n;
 }
 

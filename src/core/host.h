@@ -33,6 +33,12 @@ struct HostConfig {
   // Virtual-time watchdog for runKernel: a kernel exceeding this is treated
   // as hung (deadlock tests rely on it).
   SimTime kernelTimeout = 30_s;
+  // Per-command I/O timeout: every issued NVMe command arms a timer-wheel
+  // watchdog that is cancelled (O(1)) by its completion; on expiry the
+  // transaction is errored with nvme::Status::kCommandAborted and the CID
+  // stays claimed until the device answers. 0 disables arming entirely
+  // (the default — figure reproductions schedule no extra timers).
+  SimTime ioTimeoutNs = 0;
 };
 
 class AgileHost {
@@ -89,6 +95,9 @@ class AgileHost {
 
   // Total in-flight AGILE transactions across all SQs.
   std::uint32_t pendingTransactions() const;
+
+  // Commands errored by the per-command I/O watchdog, across all SQs.
+  std::uint64_t ioTimeouts() const;
 
  private:
   HostConfig cfg_;

@@ -14,6 +14,7 @@ bool attemptSqDoorbell(gpu::KernelCtx& ctx, AgileSq& sq, std::uint32_t slot,
     while (sq.state[tail] == SqeState::kUpdated) {
       ctx.charge(cost::kDoorbellScanPerSqe);
       sq.state[tail] = SqeState::kIssued;
+      sq.armWatchdog(tail);
       tail = (tail + 1) % sq.depth;
       ++advanced;
     }
@@ -83,6 +84,7 @@ bool tryIssueFromHost(AgileSq& sq, nvme::Sqe cmd, const Transaction& txn) {
   std::uint32_t advanced = 0;
   while (sq.state[tail] == SqeState::kUpdated) {
     sq.state[tail] = SqeState::kIssued;
+    sq.armWatchdog(tail);
     tail = (tail + 1) % sq.depth;
     ++advanced;
   }
@@ -107,6 +109,77 @@ gpu::GpuTask<std::uint32_t> issueCommand(gpu::KernelCtx& ctx, AgileSq& sq,
   }
   co_await issueOnSlot(ctx, sq, slot, cmd, txn, chain);
   co_return slot;
+}
+
+void AgileSq::onTimeout(std::uint32_t slot, std::uint64_t gen) {
+  // Stale fire: the command completed (watchdog cancel raced the fire) or
+  // the slot was already recycled for a newer command.
+  if (state[slot] != SqeState::kIssued || cmdGen[slot] != gen) return;
+  Transaction& t = txn[slot];
+  if (t.kind == TxnKind::kNone || t.kind == TxnKind::kTimedOut) return;
+  watchdog[slot] = sim::TimerId{};
+  // The SQE stays ISSUED in every case: its CID — and, crucially, any
+  // memory the device may still DMA — remain claimed until the device
+  // answers. The watchdog only errors what can be released without
+  // aliasing an in-flight transfer; `timeouts` counts exactly the
+  // commands where something was errored.
+  switch (t.kind) {
+    case TxnKind::kCacheWriteback:
+      // The device still reads line->data, so the frame must stay pinned
+      // (BUSY/evicting) exactly as it is; nothing can be errored early
+      // (and nothing is, so this expiry does not count as a timeout).
+      // The late completion settles the line normally.
+      return;
+    case TxnKind::kCacheFill: {
+      // Early-error the demand riding this fill — attached buffers and the
+      // token op — but leave the frame BUSY and its tag mapped: the device
+      // will still DMA into line->data, so the frame cannot be recycled
+      // until the late completion settles it with the real status. Parked
+      // sync readers therefore keep waiting on the device (bounded by its
+      // latency), exactly as without a watchdog. A fill with neither
+      // attached buffers nor a token has nothing to error: like a
+      // writeback expiry, it does not count as a timeout.
+      CacheLine& l = *t.line;
+      if (l.bufWaitHead == nullptr && t.op.pool == nullptr) return;
+      ++timeouts;
+      l.completeBufWaiters(*engine, nvme::Status::kCommandAborted);
+      if (t.op.pool != nullptr) {
+        t.op.pool->completeOp(t.op.slot, t.op.gen,
+                              nvme::Status::kCommandAborted, *engine);
+        t.op = IoOpRef{};  // the late completion must not notify again
+      }
+      return;
+    }
+    case TxnKind::kBufRead: {
+      ++timeouts;
+      // Error the caller's barrier now. The buffer is caller-owned and the
+      // device may still write it; a failed barrier already means "contents
+      // undefined", so no quarantine is needed inside the library.
+      const Transaction timedOut = t;
+      t = Transaction{};
+      t.kind = TxnKind::kTimedOut;
+      settleTransaction(*engine, timedOut, nvme::Status::kCommandAborted);
+      return;
+    }
+    case TxnKind::kBufWrite: {
+      ++timeouts;
+      // Error the caller's barrier now, but keep the staging page out of
+      // the pool until the device answers — it is the DMA source of the
+      // in-flight write, and recycling it early would let a later write's
+      // payload be persisted under this command's LBA.
+      Transaction timedOut = t;
+      t = Transaction{};
+      t.kind = TxnKind::kTimedOut;
+      t.staging = timedOut.staging;
+      t.stagingPool = timedOut.stagingPool;
+      timedOut.staging = nullptr;  // settle must not recycle it
+      settleTransaction(*engine, timedOut, nvme::Status::kCommandAborted);
+      return;
+    }
+    case TxnKind::kNone:
+    case TxnKind::kTimedOut:
+      return;  // unreachable (checked above)
+  }
 }
 
 }  // namespace agile::core

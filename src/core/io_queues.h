@@ -37,6 +37,9 @@ enum class TxnKind : std::uint8_t {
   kCacheWriteback,  // write cache line -> SSD (dirty eviction)
   kBufRead,         // read SSD -> user buffer (asyncRead miss path)
   kBufWrite,        // write staging -> SSD (asyncWrite)
+  kTimedOut,        // watchdog already errored the transaction; the late
+                    // device completion reclaims the SQE slot (and, for
+                    // writes, the pinned staging page)
 };
 
 class StagingPool;
@@ -73,6 +76,18 @@ struct AgileSq {
   AgileLock dbLock{"sq-doorbell"};
   sim::WaitList freeWaiters;  // parked issuers; service notifies on release
 
+  // --- I/O watchdog (HostConfig::ioTimeoutNs; 0 = disabled) ---
+  // Every command arms a timer-wheel TimerId when the SQ doorbell covers
+  // it; the completion path cancels it (O(1)). If the timer fires first,
+  // the transaction is errored with Status::kCommandAborted and the slot is
+  // parked as kTimedOut until the device eventually answers (a CID stays
+  // claimed until completion, per NVMe semantics).
+  SimTime ioTimeoutNs = 0;
+  sim::Engine* engine = nullptr;   // armed/cancelled through the host engine
+  std::vector<sim::TimerId> watchdog;
+  std::vector<std::uint64_t> cmdGen;  // bumped per alloc; guards stale fires
+  std::uint64_t timeouts = 0;         // commands errored by the watchdog
+
   // Claim the next ring slot if it is EMPTY. Ring order allocation matches
   // NVMe SQ semantics: the tail cannot pass a slot whose command has not
   // completed (precisely the §2.3.1 full-queue hazard), and one slot always
@@ -83,6 +98,7 @@ struct AgileSq {
     const std::uint32_t slot = allocCursor;
     if (state[slot] != SqeState::kEmpty) return kNoSlot;
     state[slot] = SqeState::kHeld;
+    if (!cmdGen.empty()) ++cmdGen[slot];
     ++live;
     ++totalIssued;
     allocCursor = (allocCursor + 1) % depth;
@@ -90,6 +106,24 @@ struct AgileSq {
   }
 
   std::uint32_t inFlight() const { return live; }
+
+  // Arm the per-command watchdog; called exactly when the doorbell first
+  // covers `slot` (the command is in flight from that point).
+  void armWatchdog(std::uint32_t slot) {
+    if (ioTimeoutNs == 0) return;
+    const std::uint64_t gen = cmdGen[slot];
+    watchdog[slot] = engine->scheduleAfter(
+        ioTimeoutNs, [this, slot, gen] { onTimeout(slot, gen); });
+  }
+  void disarmWatchdog(std::uint32_t slot) {
+    if (ioTimeoutNs == 0) return;
+    if (watchdog[slot]) {
+      engine->cancel(watchdog[slot]);
+      watchdog[slot] = sim::TimerId{};
+    }
+  }
+  // Watchdog expiry: error the transaction, keep the CID claimed.
+  void onTimeout(std::uint32_t slot, std::uint64_t gen);
 };
 
 // One completion queue plus the persisted Algorithm-1 polling state.
@@ -171,21 +205,12 @@ class StagingPool {
   sim::WaitList waiters_;
 };
 
-// Shared completion-side transition logic: releases the SQE, performs the
-// cache/buffer state change, and recycles staging. Used by the AGILE service
-// (Algorithm 1 lanes) and by the BaM baseline's inline polling, so both
-// stacks interpret transactions identically.
-inline void applyCompletion(sim::Engine& engine, AgileSq& sq,
-                            std::uint32_t slot, nvme::Status status) {
-  AGILE_CHECK(slot < sq.depth);
-  AGILE_CHECK_MSG(sq.state[slot] == SqeState::kIssued,
-                  "completion for a non-issued SQE");
-  Transaction txn = sq.txn[slot];
-  sq.txn[slot] = Transaction{};
-  sq.state[slot] = SqeState::kEmpty;
-  AGILE_CHECK(sq.live > 0);
-  --sq.live;
-
+// The transaction-side state change of one finished (or timed-out) command:
+// cache-line transition, buffer barrier completion, staging recycle, and
+// token-op notification. Shared by applyCompletion and the I/O watchdog so
+// both settle transactions identically.
+inline void settleTransaction(sim::Engine& engine, const Transaction& txn,
+                              nvme::Status status) {
   switch (txn.kind) {
     case TxnKind::kCacheFill:
       AGILE_CHECK(txn.line != nullptr);
@@ -206,13 +231,43 @@ inline void applyCompletion(sim::Engine& engine, AgileSq& sq,
       }
       if (txn.barrier != nullptr) txn.barrier->complete(engine, status);
       break;
+    case TxnKind::kTimedOut:
     case TxnKind::kNone:
-      AGILE_CHECK_MSG(false, "completion for an empty transaction");
+      AGILE_CHECK_MSG(false, "settle of an empty transaction");
   }
   // Token-op bookkeeping rides the same completion, after the cache/buffer
   // transition so a poll() from a woken waiter observes consistent state.
   if (txn.op.pool != nullptr) {
     txn.op.pool->completeOp(txn.op.slot, txn.op.gen, status, engine);
+  }
+}
+
+// Shared completion-side transition logic: releases the SQE, performs the
+// cache/buffer state change, and recycles staging. Used by the AGILE service
+// (Algorithm 1 lanes) and by the BaM baseline's inline polling, so both
+// stacks interpret transactions identically.
+inline void applyCompletion(sim::Engine& engine, AgileSq& sq,
+                            std::uint32_t slot, nvme::Status status) {
+  AGILE_CHECK(slot < sq.depth);
+  AGILE_CHECK_MSG(sq.state[slot] == SqeState::kIssued,
+                  "completion for a non-issued SQE");
+  sq.disarmWatchdog(slot);
+  Transaction txn = sq.txn[slot];
+  sq.txn[slot] = Transaction{};
+  sq.state[slot] = SqeState::kEmpty;
+  AGILE_CHECK(sq.live > 0);
+  --sq.live;
+
+  // The watchdog already errored this transaction; the device's (late)
+  // answer reclaims the CID and any DMA memory the watchdog had to keep
+  // pinned (the staging page of a timed-out write).
+  if (txn.kind == TxnKind::kTimedOut) {
+    if (txn.staging != nullptr) {
+      AGILE_CHECK(txn.stagingPool != nullptr);
+      txn.stagingPool->put(engine, txn.staging);
+    }
+  } else {
+    settleTransaction(engine, txn, status);
   }
   // A freed SQE may unblock an issuer parked on the full queue (§3.2.1's
   // deadlock elimination: the service, not the user thread, releases).

@@ -380,6 +380,22 @@ class KernelCtx {
     lane_->charge(cycles * std::popcount(lane_->warp().liveMask()));
   }
 
+  // Critical-section charge for an N-way sharded resource (the sharded
+  // software cache): lanes serialize only with warp peers that hit the
+  // same shard. The lane cannot see its peers' shard targets without a
+  // warp collective, so the charge models the *expected* convoy under
+  // hashed tag spreading — ceil(liveLanes / ways) — which is optimistic
+  // for shard-skewed warps (all lanes hitting one hot shard), the mirror
+  // image of chargeSerialized being pessimistic under divergence; see
+  // DESIGN.md §4 and docs/ARCHITECTURE.md "Cache sharding". ways == 1
+  // charges exactly chargeSerialized — the unsharded baseline's cost, bit
+  // for bit.
+  void chargeSharded(SimTime cycles, std::uint32_t ways) {
+    const auto live =
+        static_cast<std::uint32_t>(std::popcount(lane_->warp().liveMask()));
+    lane_->charge(cycles * ((live + ways - 1) / ways));
+  }
+
   // --- awaitables ---
 
   // Yield to the warp scheduler; lane stays runnable.

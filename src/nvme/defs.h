@@ -19,6 +19,10 @@ enum class Status : std::uint16_t {
   kSuccess = 0x0,
   kInvalidOpcode = 0x1,
   kInvalidField = 0x2,
+  // Synthesized by the host-side I/O watchdog when a command exceeds its
+  // timeout (generic command status 0x7, "command abort requested"); never
+  // posted by the simulated device itself.
+  kCommandAborted = 0x7,
   kLbaOutOfRange = 0x80,
   kCapacityExceeded = 0x81,
   // Media and data integrity errors (status code type 2 in the spec; folded

@@ -185,6 +185,26 @@ class Engine {
   std::uint64_t cancelledEvents() const { return cancelled_; }
   /// Slab chunks allocated over the engine's lifetime (capacity telemetry).
   std::size_t slabChunks() const { return slabs_.size(); }
+  /// Total event-node capacity across all slab chunks (telemetry for
+  /// pre-sizing arenas; see reserveEvents / sim::SlabArenaPlan).
+  std::size_t slabEventCapacity() const {
+    std::size_t n = 0;
+    for (const auto& slab : slabs_) n += slab.cap;
+    return n;
+  }
+
+  /// Pre-size the event slab with one contiguous arena of `events` nodes,
+  /// so a run whose peak event population fits never touches the allocator
+  /// again (multi-engine sweeps size this from the previous run's
+  /// slabEventCapacity() telemetry and stay memory-flat). Must be called
+  /// before anything is scheduled; a zero reservation is a no-op.
+  void reserveEvents(std::size_t events) {
+    if (events == 0) return;
+    AGILE_CHECK_MSG(slabs_.empty(),
+                    "reserveEvents must precede all scheduling");
+    slabs_.push_back(Slab{std::make_unique<EventNode[]>(events), events});
+    slabUsed_ = 0;
+  }
 
   StatsRegistry& stats() { return stats_; }
   const StatsRegistry& stats() const { return stats_; }
@@ -282,11 +302,13 @@ class Engine {
       freeList_ = n->next;
       return n;
     }
-    if (slabs_.empty() || slabUsed_ == kSlabChunkEvents) {
-      slabs_.push_back(std::make_unique<EventNode[]>(kSlabChunkEvents));
+    if (slabs_.empty() || slabUsed_ == slabs_.back().cap) {
+      slabs_.push_back(
+          Slab{std::make_unique<EventNode[]>(kSlabChunkEvents),
+               kSlabChunkEvents});
       slabUsed_ = 0;
     }
-    return &slabs_.back()[slabUsed_++];
+    return &slabs_.back().mem[slabUsed_++];
   }
 
   void freeNode(EventNode* n) {
@@ -400,8 +422,14 @@ class Engine {
 
   std::vector<EventNode*> drainScratch_;  // reused by drainTick
 
-  // Slab storage: chunk list plus an intrusive free list of recycled nodes.
-  std::vector<std::unique_ptr<EventNode[]>> slabs_;
+  // Slab storage: chunk list (growth chunks hold kSlabChunkEvents nodes; a
+  // reserveEvents arena holds its requested capacity) plus an intrusive
+  // free list of recycled nodes.
+  struct Slab {
+    std::unique_ptr<EventNode[]> mem;
+    std::size_t cap;
+  };
+  std::vector<Slab> slabs_;
   std::size_t slabUsed_ = 0;
   EventNode* freeList_ = nullptr;
 

@@ -35,11 +35,28 @@ void parallelFor(std::size_t n, const std::function<void(std::size_t)>& fn,
   for (auto& th : pool) th.join();
 }
 
+void SlabArenaPlan::observe(std::size_t point, const Engine& engine) {
+  const std::size_t capacity = engine.slabEventCapacity();
+  // Grow the plan only when the engine outgrew it (chunked growth past the
+  // reserved arena, or the first observation). A round that fit inside the
+  // planned arena reports capacity == plan and must leave it untouched —
+  // otherwise the headroom would compound every round.
+  if (capacity > events_[point]) {
+    events_[point] = capacity * kHeadroomNum / kHeadroomDen;
+  }
+}
+
+void SlabArenaPlan::apply(std::size_t point, Engine& engine) const {
+  if (events_[point] == 0) return;
+  engine.reserveEvents(events_[point]);
+}
+
 void SweepStats::recordEngine(std::size_t point, const Engine& engine) {
   record(point, "engine.events", engine.executedEvents());
   record(point, "engine.readyPath", engine.readyPathEvents());
   record(point, "engine.cancelled", engine.cancelledEvents());
   record(point, "engine.slabChunks", engine.slabChunks());
+  record(point, "engine.slabEvents", engine.slabEventCapacity());
 }
 
 std::vector<SweepStats::Merged> SweepStats::merged() const {

@@ -29,6 +29,49 @@ class Engine;
 void parallelFor(std::size_t n, const std::function<void(std::size_t)>& fn,
                  unsigned threads = 0);
 
+// Per-point event-slab arena sizing across repeated sweeps. A sweep's first
+// run grows each engine's slab chunk-by-chunk; observe() records the
+// capacity each point actually needed, and apply() pre-sizes the next run's
+// engine with one contiguous arena of that capacity (plus headroom), so
+// large multi-engine sweeps allocate once per point and stay memory-flat.
+//
+//   SlabArenaPlan plan(points.size());
+//   for (round : rounds)
+//     parallelFor(points.size(), [&](std::size_t i) {
+//       Engine eng;
+//       plan.apply(i, eng);        // no-op on the first round
+//       ... run point i ...
+//       plan.observe(i, eng);      // capacity telemetry for the next round
+//     });
+//
+// observe()/apply() are safe to call concurrently for distinct points
+// (disjoint slots, same contract as SweepStats::record).
+class SlabArenaPlan {
+ public:
+  explicit SlabArenaPlan(std::size_t points) : events_(points, 0) {}
+
+  // Record the slab capacity point `i`'s engine ended up with.
+  void observe(std::size_t point, const Engine& engine);
+
+  // Pre-size `engine` with the planned arena. No-op when nothing was
+  // observed yet.
+  void apply(std::size_t point, Engine& engine) const;
+
+  // Planned arena capacity for one point (0 = not observed yet). The plan
+  // carries kHeadroomNum/kHeadroomDen slack over the capacity that
+  // overflowed it, and is a fixed point: a round that fits the planned
+  // arena leaves the plan unchanged (no compounding).
+  std::size_t eventsFor(std::size_t point) const { return events_[point]; }
+
+  std::size_t points() const { return events_.size(); }
+
+  static constexpr std::size_t kHeadroomNum = 9;  // grow to overflow * 9/8
+  static constexpr std::size_t kHeadroomDen = 8;
+
+ private:
+  std::vector<std::size_t> events_;
+};
+
 // Merged statistics across the points of one sweep. Typical use:
 //
 //   SweepStats stats(points.size());

@@ -287,6 +287,37 @@ TEST_F(AppsGpuFixture, GatherPipelinedMatchesPattern) {
   }
 }
 
+// Over-deep pipelines on an undersized cache must degrade to sync via the
+// per-shard pressure throttle (adaptive default) and still return correct
+// data; with the throttle disabled the same configuration also stays
+// correct — the throttle is purely a performance valve.
+TEST_F(AppsGpuFixture, GatherAdaptiveDepthThrashCorrectness) {
+  buildAgile(/*cacheLines=*/8);  // 16 lanes x (depth+1) far exceeds 8 lines
+  AgileAccessor<std::uint64_t> acc{*ctrl, 0};
+  std::vector<std::uint64_t> idxs(16 * 24);
+  for (std::size_t i = 0; i < idxs.size(); ++i) {
+    idxs[i] = (i * 131 + 7) % (512 * 512);
+  }
+  for (const bool adaptive : {true, false}) {
+    std::vector<std::uint64_t> out(idxs.size(), 0);
+    ASSERT_TRUE(host->runKernel(
+        {.gridDim = 1, .blockDim = 16, .name = "gather-thrash"},
+        [&](gpu::KernelCtx& ctx) -> gpu::GpuTask<void> {
+          core::AgileLockChain chain;
+          const std::uint32_t tid = ctx.globalThreadIdx();
+          co_await acc.gather(
+              ctx, std::span<const std::uint64_t>(&idxs[tid * 24], 24),
+              std::span<std::uint64_t>(&out[tid * 24], 24), chain,
+              /*depth=*/16, adaptive);
+        }));
+    for (std::size_t i = 0; i < idxs.size(); ++i) {
+      const auto at = core::elemAddr<std::uint64_t>(idxs[i]);
+      ASSERT_EQ(out[i], nvme::FlashStore::patternWord(at.lba, at.byteOff / 8))
+          << (adaptive ? "adaptive " : "fixed ") << i;
+    }
+  }
+}
+
 TEST(MlpTest, FlopsAndTime) {
   MlpSpec spec{.layerDims = {512, 512}};
   EXPECT_EQ(spec.flops(4), 2ull * 4 * 512 * 512 * 2);

@@ -13,14 +13,17 @@ struct ServiceFixture : ::testing::Test {
   std::unique_ptr<AgileHost> host;
 
   void build(std::uint32_t qps, std::uint32_t depth,
-             std::uint32_t serviceWarps = 2) {
+             std::uint32_t serviceWarps = 2, SimTime ioTimeoutNs = 0,
+             SimTime readLatencyNs = 0) {
     HostConfig cfg;
     cfg.queuePairsPerSsd = qps;
     cfg.queueDepth = depth;
     cfg.service.warps = serviceWarps;
+    cfg.ioTimeoutNs = ioTimeoutNs;
     host = std::make_unique<AgileHost>(cfg);
     nvme::SsdConfig ssd;
     ssd.capacityLbas = 1u << 16;
+    if (readLatencyNs != 0) ssd.readLatencyNs = readLatencyNs;
     host->addNvmeDev(ssd);
     host->initNvme();
     host->startAgile();
@@ -62,6 +65,133 @@ struct ServiceFixture : ::testing::Test {
     ASSERT_TRUE(ok);
   }
 };
+
+// --- per-command I/O watchdog (HostConfig::ioTimeoutNs) -------------------
+
+// Healthy traffic with the watchdog armed: every command's timer is
+// cancelled by its completion; nothing times out, and the timers ride the
+// wheel's O(1) cancel path.
+TEST_F(ServiceFixture, WatchdogCancelledOnCompletion) {
+  build(2, 64, 2, /*ioTimeoutNs=*/100_ms);
+  const std::uint64_t cancelledBefore = host->engine().cancelledEvents();
+  traffic(128);
+  settle();
+  EXPECT_EQ(host->ioTimeouts(), 0u);
+  EXPECT_EQ(host->service().stats().completions, 128u);
+  // One armed-and-cancelled watchdog per command.
+  EXPECT_GE(host->engine().cancelledEvents() - cancelledBefore, 128u);
+  EXPECT_EQ(host->pendingTransactions(), 0u);
+}
+
+// A command that exceeds the timeout has its transaction errored by the
+// watchdog (the parked reader observes the failure) while the CID stays
+// claimed; the device's late completion then reclaims the slot without
+// settling the transaction twice.
+TEST_F(ServiceFixture, WatchdogErrorsSlowCommand) {
+  // 5 ms device latency vs a 500 us timeout: every command times out first.
+  build(1, 64, 2, /*ioTimeoutNs=*/500_us, /*readLatencyNs=*/5_ms);
+  auto* mem = host->gpu().hbm().allocBytes(nvme::kLbaBytes);
+  bool readOk = true;
+  const bool ok = host->runKernel(
+      {.gridDim = 1, .blockDim = 1, .name = "slow-read"},
+      [&](gpu::KernelCtx& ctx) -> gpu::GpuTask<void> {
+        AgileLockChain chain;
+        AgileBuf tmp(mem);
+        nvme::Sqe cmd;
+        cmd.opcode = static_cast<std::uint8_t>(nvme::Opcode::kRead);
+        cmd.slba = 7;
+        cmd.prp1 = host->gpu().hbm().physAddr(mem);
+        Transaction txn;
+        txn.kind = TxnKind::kBufRead;
+        txn.buf = &tmp;
+        tmp.barrier().addPending();
+        co_await issueCommand(ctx, *host->queuePairs().sqs[0], cmd, txn,
+                              chain);
+        readOk = co_await barrierWait(ctx, tmp.barrier());
+      });
+  ASSERT_TRUE(ok);
+  EXPECT_FALSE(readOk);  // errored by the watchdog, not the device
+  EXPECT_EQ(host->ioTimeouts(), 1u);
+  // The CID is still claimed until the device answers.
+  EXPECT_EQ(host->pendingTransactions(), 1u);
+  // Let the real (late) completion land: the slot is reclaimed, the
+  // transaction is not settled a second time.
+  host->engine().runFor(host->engine().now() + 20_ms);
+  EXPECT_EQ(host->pendingTransactions(), 0u);
+  EXPECT_EQ(host->ioTimeouts(), 1u);
+}
+
+// A timed-out cache fill errors the token early, but the frame stays BUSY
+// (pinned: the device will still DMA into it) until the late completion
+// settles the line with the real status — no recycled memory is ever a DMA
+// target.
+TEST_F(ServiceFixture, WatchdogErrorsCacheFill) {
+  build(1, 64, 2, /*ioTimeoutNs=*/500_us, /*readLatencyNs=*/5_ms);
+  DefaultCtrl ctrl(*host, CtrlConfig{.cacheLines = 8});
+  IoToken token;
+  bool waitOk = true;
+  const bool ok = host->runKernel(
+      {.gridDim = 1, .blockDim = 1, .name = "slow-prefetch"},
+      [&](gpu::KernelCtx& ctx) -> gpu::GpuTask<void> {
+        AgileLockChain chain;
+        token = co_await ctrl.submitPrefetch(ctx, 0, 3, chain);
+        waitOk = co_await ctrl.wait(ctx, token);
+      });
+  ASSERT_TRUE(ok);
+  EXPECT_FALSE(waitOk);  // token errored at the deadline
+  EXPECT_EQ(host->ioTimeouts(), 1u);
+  // The DMA target stays pinned until the device answers.
+  EXPECT_EQ(ctrl.cache().busyLines(), 1u);
+  host->engine().runFor(host->engine().now() + 20_ms);
+  EXPECT_EQ(host->pendingTransactions(), 0u);
+  EXPECT_EQ(ctrl.cache().busyLines(), 0u);
+  // The late completion settled the fill with the device's real status:
+  // the page is cached and a demand read of it hits.
+  EXPECT_NE(ctrl.cache().findLine(makeTag(0, 3)), DefaultCtrl::Cache::npos);
+}
+
+// A timed-out asyncWrite errors the caller's barrier early but keeps the
+// staging page (the in-flight DMA source) out of the pool until the device
+// answers, so no later write can be corrupted by the stale transfer.
+TEST_F(ServiceFixture, WatchdogDefersStagingRecycleOnWriteTimeout) {
+  build(1, 64, 2, /*ioTimeoutNs=*/500_us, /*readLatencyNs=*/5_ms);
+  auto* payload = host->gpu().hbm().allocBytes(nvme::kLbaBytes);
+  const std::size_t stagingBefore = host->staging().available();
+  std::byte* staging = host->staging().tryGet();
+  ASSERT_NE(staging, nullptr);
+  AgileBuf buf(payload);
+  const bool ok = host->runKernel(
+      {.gridDim = 1, .blockDim = 1, .name = "slow-write"},
+      [&](gpu::KernelCtx& ctx) -> gpu::GpuTask<void> {
+        AgileLockChain chain;
+        nvme::Sqe cmd;
+        // A *read* opcode so the 5 ms latency applies, but carried by a
+        // kBufWrite transaction — exercising exactly the staging-recycle
+        // path under timeout.
+        cmd.opcode = static_cast<std::uint8_t>(nvme::Opcode::kRead);
+        cmd.slba = 9;
+        cmd.prp1 = host->gpu().hbm().physAddr(staging);
+        Transaction txn;
+        txn.kind = TxnKind::kBufWrite;
+        txn.staging = staging;
+        txn.stagingPool = &host->staging();
+        txn.barrier = &buf.barrier();
+        buf.barrier().addPending();
+        co_await issueCommand(ctx, *host->queuePairs().sqs[0], cmd, txn,
+                              chain);
+        (void)co_await barrierWait(ctx, buf.barrier());
+      });
+  ASSERT_TRUE(ok);
+  EXPECT_EQ(host->ioTimeouts(), 1u);
+  EXPECT_TRUE(buf.barrier().failed());
+  // Deadline passed, but the staging page is still pinned by the in-flight
+  // DMA — not yet back in the pool.
+  EXPECT_EQ(host->staging().available(), stagingBefore - 1);
+  host->engine().runFor(host->engine().now() + 20_ms);
+  // The late completion recycled it.
+  EXPECT_EQ(host->staging().available(), stagingBefore);
+  EXPECT_EQ(host->pendingTransactions(), 0u);
+}
 
 TEST_F(ServiceFixture, ProcessesAllCompletions) {
   build(2, 64);

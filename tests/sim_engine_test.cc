@@ -682,6 +682,82 @@ TEST(SweepStatsTest, RecordsEngineTelemetry) {
   EXPECT_EQ(rows[0].points, 2u);
 }
 
+TEST(EngineTest, ReserveEventsPreSizesOneArena) {
+  Engine eng;
+  eng.reserveEvents(5000);
+  EXPECT_EQ(eng.slabChunks(), 1u);
+  EXPECT_EQ(eng.slabEventCapacity(), 5000u);
+  // 3000 concurrently pending events fit the arena: no growth chunks.
+  int fired = 0;
+  for (int i = 0; i < 3000; ++i) {
+    eng.scheduleAfter(static_cast<SimTime>(1 + i % 7), [&] { ++fired; });
+  }
+  eng.runToCompletion();
+  EXPECT_EQ(fired, 3000);
+  EXPECT_EQ(eng.slabChunks(), 1u);
+  // Overflowing the arena falls back to chunked growth, not a crash.
+  std::vector<TimerId> ids;
+  for (int i = 0; i < 6000; ++i) {
+    ids.push_back(eng.scheduleAfter(10, [] {}));
+  }
+  EXPECT_GT(eng.slabChunks(), 1u);
+  for (auto& id : ids) eng.cancel(id);
+}
+
+TEST(EngineTest, ReserveEventsDoesNotPerturbExecution) {
+  // Identical schedules with and without an arena must fire in the same
+  // order at the same times (the determinism contract the sweep arenas
+  // rely on).
+  auto run = [](bool reserve) {
+    Engine eng;
+    if (reserve) eng.reserveEvents(4096);
+    std::vector<std::pair<SimTime, int>> log;
+    for (int i = 0; i < 500; ++i) {
+      eng.scheduleAfter(static_cast<SimTime>((i * 37) % 11),
+                        [&log, i, &eng] { log.emplace_back(eng.now(), i); });
+    }
+    eng.runToCompletion();
+    return log;
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+TEST(SweepStatsTest, SlabArenaPlanRoundTrip) {
+  SlabArenaPlan plan(2);
+  EXPECT_EQ(plan.eventsFor(0), 0u);
+  {
+    Engine eng;
+    plan.apply(0, eng);  // nothing observed yet: no-op
+    EXPECT_EQ(eng.slabChunks(), 0u);
+    // Force two growth chunks' worth of live events.
+    std::vector<TimerId> ids;
+    for (int i = 0; i < 1500; ++i) {
+      ids.push_back(eng.scheduleAfter(5, [] {}));
+    }
+    eng.runToCompletion();
+    plan.observe(0, eng);
+  }
+  EXPECT_GE(plan.eventsFor(0), 1500u);
+  {
+    Engine eng;
+    plan.apply(0, eng);
+    // One arena, sized with headroom over the observed capacity.
+    EXPECT_EQ(eng.slabChunks(), 1u);
+    EXPECT_GE(eng.slabEventCapacity(), plan.eventsFor(0));
+    std::vector<TimerId> ids;
+    for (int i = 0; i < 1500; ++i) {
+      ids.push_back(eng.scheduleAfter(5, [] {}));
+    }
+    eng.runToCompletion();
+    // The replay fits the arena: the sweep stays memory-flat.
+    EXPECT_EQ(eng.slabChunks(), 1u);
+    // A fitting round must not grow the plan (no headroom compounding).
+    const std::size_t planned = plan.eventsFor(0);
+    plan.observe(0, eng);
+    EXPECT_EQ(plan.eventsFor(0), planned);
+  }
+}
+
 TEST(SweepStatsTest, RenderIsDeterministic) {
   SweepStats stats(2);
   stats.record(0, "a.metric", 1);

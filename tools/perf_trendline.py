@@ -12,6 +12,11 @@ across runs via actions/cache) and prints a GitHub-flavored markdown table
 of events/sec per workload for the most recent commits, so performance
 regressions are visible in the job summary before they compound.
 
+Covered payloads: BENCH_engine.json (engine_stress), BENCH_gather.json
+(async_gather), BENCH_cache.json (cache_probe). Any workload entry with a
+new_events_per_sec field lands in the table; the geomean column falls back
+to a bench's headline speedup when no geomean is reported.
+
 Stdlib only; also usable locally:  python3 tools/perf_trendline.py .
 """
 
@@ -44,9 +49,13 @@ def summarize(payload):
         eps = w.get("new_events_per_sec")
         if eps is not None:
             flat[w["name"]] = float(eps)
+    geomean = payload.get("geomean_speedup")
+    if geomean is None:
+        # Headline fallbacks for benches without a per-workload geomean.
+        geomean = payload.get("speedup_at_8_shards", payload.get("best_speedup"))
     return {
         "workloads": flat,
-        "geomean_speedup": payload.get("geomean_speedup"),
+        "geomean_speedup": geomean,
         "quick": payload.get("quick"),
     }
 
