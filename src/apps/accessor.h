@@ -23,6 +23,24 @@
 
 namespace agile::apps {
 
+// How an application driver run ended. Drivers that report it distinguish
+// a simulated hang (virtual-time kernel watchdog) from a run that finished
+// but had I/O errored out after the bounded retry tier spent its budget —
+// results exist in the latter case but may contain default-valued elements.
+enum class AppRunStatus : std::uint8_t {
+  kOk,          // completed, no I/O given up on
+  kKernelHung,  // kernel watchdog expired; no results
+  kIoDegraded,  // completed, but some I/O was aborted after retries
+};
+
+// Monotone signature of given-up I/O on `host`: retry-tier budget
+// exhaustions plus watchdog expiries that errored a transaction (the two
+// overlap when an exhausted command also times out, so this is a change
+// detector for before/after comparison, not an exact failure count).
+inline std::uint64_t ioAbortSignature(core::AgileHost& host) {
+  return host.ioHealth().aborted + host.ioTimeouts();
+}
+
 // Accessors that can warm the software cache ahead of a synchronous read
 // from divergent lanes (the depth-K pipelined kernels key off this).
 template <class Acc>

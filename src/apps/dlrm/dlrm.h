@@ -80,6 +80,9 @@ struct DlrmRunResult {
   std::uint64_t cacheHits = 0;
   std::uint64_t cacheMisses = 0;
   std::uint64_t ssdReads = 0;
+  // Nonzero marks a degraded run: some gather I/O was given up on (watchdog
+  // or retry-budget exhaustion), so the affected rows contributed defaults.
+  std::uint64_t ioAborted = 0;
 };
 
 enum class DlrmMode { kBam, kAgileSync, kAgileAsync };

@@ -39,6 +39,8 @@ DlrmRunResult runDlrm(core::AgileHost& host, const DlrmConfig& cfg,
   auto& engine = host.engine();
 
   std::uint64_t ssdReadsBefore = host.ssd(dev).readsCompleted();
+  const std::uint64_t abortsBefore =
+      host.ioTimeouts() + host.ioHealth().aborted;
   std::uint64_t hitsBefore = 0, missesBefore = 0;
   auto snapshotStats = [&] {
     ssdReadsBefore = host.ssd(dev).readsCompleted();
@@ -176,6 +178,7 @@ DlrmRunResult runDlrm(core::AgileHost& host, const DlrmConfig& cfg,
     res.cacheHits = ctrl->cache().stats().hits - hitsBefore;
     res.cacheMisses = ctrl->cache().stats().misses - missesBefore;
   }
+  res.ioAborted = host.ioTimeouts() + host.ioHealth().aborted - abortsBefore;
   return res;
 }
 

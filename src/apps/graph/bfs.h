@@ -77,11 +77,16 @@ gpu::GpuTask<void> bfsLevelKernel(gpu::KernelCtx& ctx,
 }
 
 // Host driver: runs levels to fixpoint. Returns false on watchdog expiry.
+// statusOut (optional) distinguishes a simulated hang from a run that
+// completed with some I/O aborted after the retry tier spent its budget
+// (kIoDegraded: distances exist but unreported vertices may be stale).
 template <class ColAcc>
 bool runBfs(core::AgileHost& host, const CsrGraph& g, ColAcc& colAcc,
             std::uint32_t source, std::vector<std::uint32_t>* distOut,
             gpu::LaunchConfig launch = {.gridDim = 16, .blockDim = 128},
-            std::uint32_t prefetchDepth = 0) {
+            std::uint32_t prefetchDepth = 0,
+            AppRunStatus* statusOut = nullptr) {
+  const std::uint64_t abortsBefore = ioAbortSignature(host);
   std::vector<std::uint32_t> dist(g.numVertices, kBfsUnreached);
   dist[source] = 0;
   bool anyUpdate = true;
@@ -96,11 +101,19 @@ bool runBfs(core::AgileHost& host, const CsrGraph& g, ColAcc& colAcc,
                                 colAcc, std::span<std::uint32_t>(dist), level,
                                 &anyUpdate, prefetchDepth);
         });
-    if (!ok) return false;
+    if (!ok) {
+      if (statusOut != nullptr) *statusOut = AppRunStatus::kKernelHung;
+      return false;
+    }
     ++level;
     AGILE_CHECK_MSG(level <= g.numVertices, "BFS failed to converge");
   }
   *distOut = std::move(dist);
+  if (statusOut != nullptr) {
+    *statusOut = ioAbortSignature(host) == abortsBefore
+                     ? AppRunStatus::kOk
+                     : AppRunStatus::kIoDegraded;
+  }
   return true;
 }
 

@@ -67,12 +67,16 @@ gpu::GpuTask<void> spmvKernel(gpu::KernelCtx& ctx,
   }
 }
 
+// statusOut (optional): see runBfs — kIoDegraded means the product exists
+// but elements whose reads were aborted after retries contributed zeros.
 template <class ColAcc, class ValAcc>
 bool runSpmv(core::AgileHost& host, const CsrGraph& g, ColAcc& colAcc,
              ValAcc& valAcc, const std::vector<float>& x,
              std::vector<float>* yOut,
              gpu::LaunchConfig launch = {.gridDim = 16, .blockDim = 128},
-             std::uint32_t prefetchDepth = 0) {
+             std::uint32_t prefetchDepth = 0,
+             AppRunStatus* statusOut = nullptr) {
+  const std::uint64_t abortsBefore = ioAbortSignature(host);
   std::vector<float> y(g.numVertices, 0.0f);
   launch.name = "spmv";
   const bool ok = host.runKernel(
@@ -81,8 +85,16 @@ bool runSpmv(core::AgileHost& host, const CsrGraph& g, ColAcc& colAcc,
                           colAcc, valAcc, std::span<const float>(x),
                           std::span<float>(y), prefetchDepth);
       });
-  if (!ok) return false;
+  if (!ok) {
+    if (statusOut != nullptr) *statusOut = AppRunStatus::kKernelHung;
+    return false;
+  }
   *yOut = std::move(y);
+  if (statusOut != nullptr) {
+    *statusOut = ioAbortSignature(host) == abortsBefore
+                     ? AppRunStatus::kOk
+                     : AppRunStatus::kIoDegraded;
+  }
   return true;
 }
 

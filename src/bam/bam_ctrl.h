@@ -44,6 +44,9 @@ struct BamStats {
   std::uint64_t pollRounds = 0;
   std::uint64_t completionsDrained = 0;
   std::uint64_t cqLockFails = 0;
+  // Claim loops that spent their whole probe budget (degraded access: the
+  // element read returns a default value / the write is dropped).
+  std::uint64_t exhaustedRetries = 0;
 };
 
 template <class CachePolicy = core::ClockPolicy>
@@ -75,6 +78,7 @@ class BamCtrl {
     AGILE_CHECK(off + sizeof(T) <= nvme::kLbaBytes);
 
     const std::uint32_t line = co_await acquireReadyLine(ctx, dev, lba, chain);
+    if (line == core::kNoSlot) co_return T{};  // budget exhausted
     ctx.charge(cache_.costs().word);
     T v;
     std::memcpy(&v, cache_.line(line).data + off, sizeof(T));
@@ -94,6 +98,7 @@ class BamCtrl {
     AGILE_CHECK(off + sizeof(T) <= nvme::kLbaBytes);
 
     const std::uint32_t line = co_await acquireReadyLine(ctx, dev, lba, chain);
+    if (line == core::kNoSlot) co_return;  // budget exhausted; write dropped
     ctx.charge(cache_.costs().word);
     std::memcpy(cache_.line(line).data + off, &value, sizeof(T));
     cache_.markModified(line);
@@ -106,6 +111,7 @@ class BamCtrl {
                               core::AgileLockChain& chain) {
     ++stats_.reads;
     const std::uint32_t line = co_await acquireReadyLine(ctx, dev, lba, chain);
+    if (line == core::kNoSlot) co_return;  // budget exhausted; out untouched
     ctx.charge(cache_.costs().lineCopy);
     std::memcpy(out, cache_.line(line).data, nvme::kLbaBytes);
     co_return;
@@ -145,8 +151,10 @@ class BamCtrl {
           break;
       }
     }
-    AGILE_CHECK_MSG(false, "BaM read retry budget exhausted");
-    co_return 0;
+    // Budget exhausted: degrade instead of crashing. Callers observe the
+    // kNoSlot sentinel (and stats) and skip the access.
+    ++stats_.exhaustedRetries;
+    co_return core::kNoSlot;
   }
 
   // Issue a fill/writeback for `line` and poll inline until it completes.

@@ -73,6 +73,10 @@ struct CtrlStats {
   std::uint64_t batchSubmits = 0;
   std::uint64_t batchRequests = 0;   // descriptors across all batches
   std::uint64_t batchDoorbells = 0;  // doorbell writes covering batch runs
+  // --- robustness ---
+  // Claim loops that spent cfg.maxArrayRetries without landing the access
+  // (degraded: the read returns a default value, the write is dropped).
+  std::uint64_t exhaustedRetries = 0;
 };
 
 // Element index -> (LBA, byte offset) mapping of the array view. One shared
@@ -285,7 +289,9 @@ class AgileCtrl {
           break;
       }
     }
-    AGILE_CHECK_MSG(false, "arrayRead retry budget exhausted");
+    // Budget exhausted: degrade instead of crashing. The caller observes
+    // stats().exhaustedRetries (and, for fault runs, host ioHealth()).
+    ++stats_.exhaustedRetries;
     co_return T{};
   }
 
@@ -350,7 +356,7 @@ class AgileCtrl {
           break;
       }
     }
-    AGILE_CHECK_MSG(false, "arrayWrite retry budget exhausted");
+    ++stats_.exhaustedRetries;  // degraded: the write is dropped
   }
 
   // ------------------------------------- unified async surface (tokens) ----
@@ -686,13 +692,31 @@ class AgileCtrl {
     const std::uint32_t preferred =
         (ctx.globalThreadIdx() / gpu::kWarpSize) % n;
     for (;;) {
+      std::uint32_t skipped = 0;
       for (std::uint32_t k = 0; k < n; ++k) {
         AgileSq& sq = *qps.sqs[first + (preferred + k) % n];
+        // Health-aware selection: skip quarantined QPs (free when the retry
+        // tier is off — nothing is ever quarantined, so no charge changes).
+        if (qpQuarantined(sq, host_->engine().now())) {
+          ++skipped;
+          continue;
+        }
         ctx.charge(cost::kSqeAlloc);
         const std::uint32_t slot = sq.tryAlloc();
         if (slot == kNoSlot) continue;
         co_await issueOnSlot(ctx, sq, slot, cmd, txn, chain);
         co_return slot;
+      }
+      if (skipped == n) {
+        // Every QP of this SSD is quarantined: issue on the preferred one
+        // anyway rather than stalling the caller for a whole cooldown.
+        AgileSq& sq = *qps.sqs[first + preferred];
+        ctx.charge(cost::kSqeAlloc);
+        const std::uint32_t slot = sq.tryAlloc();
+        if (slot != kNoSlot) {
+          co_await issueOnSlot(ctx, sq, slot, cmd, txn, chain);
+          co_return slot;
+        }
       }
       // Every queue of this SSD is full: wait for the service (not another
       // user thread) to release an entry — the §2.3.1 deadlock cannot form.
@@ -957,12 +981,29 @@ class AgileCtrl {
     QueuePairSet& qps = host_->queuePairs();
     const std::uint32_t first = qps.firstForSsd(dev);
     const std::uint32_t n = qps.countForSsd(dev);
+    std::uint32_t skipped = 0;
     for (std::uint32_t k = 0; k < n; ++k) {
       AgileSq& sq = *qps.sqs[first + (deferredSqCursor_ + k) % n];
+      if (qpQuarantined(sq, host_->engine().now())) {
+        ++skipped;
+        continue;
+      }
       if (tryIssueFromHost(sq, cmd, txn)) {
         deferredSqCursor_ = (deferredSqCursor_ + k + 1) % n;
         ++stats_.deferredIssues;
         return;
+      }
+    }
+    if (skipped == n) {
+      // Every QP quarantined: issue anyway — parking could wait forever on
+      // queues that are quarantined-but-empty (no completion to wake us).
+      for (std::uint32_t k = 0; k < n; ++k) {
+        AgileSq& sq = *qps.sqs[first + (deferredSqCursor_ + k) % n];
+        if (tryIssueFromHost(sq, cmd, txn)) {
+          deferredSqCursor_ = (deferredSqCursor_ + k + 1) % n;
+          ++stats_.deferredIssues;
+          return;
+        }
       }
     }
     // Every queue of this SSD is full: re-pump when one frees an entry.
@@ -1008,7 +1049,7 @@ class AgileCtrl {
           break;
       }
     }
-    AGILE_CHECK_MSG(false, "share propagation retry budget exhausted");
+    ++stats_.exhaustedRetries;  // degraded: the propagation is dropped
   }
 
   static nvme::Sqe makeCmd(nvme::Opcode op, std::uint64_t lba,

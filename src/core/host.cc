@@ -40,6 +40,9 @@ void AgileHost::initNvme() {
   AGILE_CHECK_MSG(depth % window == 0,
                   "queue depth must be a multiple of the CQ poll window");
 
+  if (cfg_.retry.enabled()) {
+    retry_ = std::make_unique<RetryController>(engine_, qps_, cfg_.retry);
+  }
   for (std::uint32_t s = 0; s < ssds_.size(); ++s) {
     for (std::uint32_t q = 0; q < cfg_.queuePairsPerSsd; ++q) {
       auto* sqRing = gpu_.hbm().alloc<nvme::Sqe>(depth).data();
@@ -58,6 +61,8 @@ void AgileHost::initNvme() {
       sq->engine = &engine_;
       sq->watchdog.assign(depth, sim::TimerId{});
       sq->cmdGen.assign(depth, 0);
+      sq->retry = retry_.get();
+      sq->qpIndex = static_cast<std::uint32_t>(qps_.sqs.size());
       qps_.sqs.push_back(std::move(sq));
 
       auto cq = std::make_unique<AgileCq>();
@@ -101,6 +106,15 @@ bool AgileHost::runKernel(gpu::LaunchConfig cfg, gpu::KernelFn fn) {
 std::uint32_t AgileHost::pendingTransactions() const {
   std::uint32_t n = 0;
   for (const auto& sq : qps_.sqs) n += sq->inFlight();
+  // Parked kTimedOut CIDs are not live transactions: their caller was
+  // already settled with an error (or handed to a retry attempt, counted
+  // via pendingRetries below); the slot is sacrificed capacity awaiting a
+  // device answer that may never come. Counting them would wedge drainIo
+  // forever after a lost completion.
+  for (const auto& sq : qps_.sqs) {
+    n -= sq->parked <= n ? sq->parked : n;
+  }
+  if (retry_ != nullptr) n += retry_->pendingRetries();
   return n;
 }
 
@@ -108,6 +122,28 @@ std::uint64_t AgileHost::ioTimeouts() const {
   std::uint64_t n = 0;
   for (const auto& sq : qps_.sqs) n += sq->timeouts;
   return n;
+}
+
+IoHealthStats AgileHost::ioHealth() const {
+  IoHealthStats h;
+  h.watchdogTimeouts = ioTimeouts();
+  const SimTime now = engine_.now();
+  for (const auto& sq : qps_.sqs) {
+    h.quarantines += sq->quarantines;
+    if (sq->quarantinedUntil != 0 && now < sq->quarantinedUntil) {
+      ++h.quarantinedQps;
+    }
+    h.parkedSlots += sq->parked;
+  }
+  if (retry_ != nullptr) {
+    h.retries = retry_->retries();
+    h.failovers = retry_->failovers();
+    h.rescued = retry_->rescued();
+    h.aborted = retry_->aborted();
+    h.cooldownProbes = retry_->cooldownProbes();
+    h.pendingRetries = retry_->pendingRetries();
+  }
+  return h;
 }
 
 bool AgileHost::drainIo() {

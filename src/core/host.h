@@ -39,6 +39,24 @@ struct HostConfig {
   // stays claimed until the device answers. 0 disables arming entirely
   // (the default — figure reproductions schedule no extra timers).
   SimTime ioTimeoutNs = 0;
+  // Bounded retry/backoff/failover tier on top of the watchdog; disabled by
+  // default (maxAttempts == 0). Watchdog-expiry retries additionally need
+  // ioTimeoutNs != 0 to trigger.
+  RetryPolicy retry;
+};
+
+// Aggregated I/O robustness telemetry (see AgileHost::ioHealth).
+struct IoHealthStats {
+  std::uint64_t watchdogTimeouts = 0;  // expiries that errored a transaction
+  std::uint64_t retries = 0;           // re-issues scheduled
+  std::uint64_t failovers = 0;         // re-issues that moved to another QP
+  std::uint64_t rescued = 0;           // transactions saved by a retry
+  std::uint64_t aborted = 0;           // budget exhausted -> kCommandAborted
+  std::uint64_t quarantines = 0;       // QP quarantine transitions
+  std::uint64_t cooldownProbes = 0;    // quarantines lifted by re-probe
+  std::uint32_t quarantinedQps = 0;    // currently quarantined
+  std::uint32_t parkedSlots = 0;       // CIDs awaiting a late device answer
+  std::uint32_t pendingRetries = 0;    // commands between attempts
 };
 
 class AgileHost {
@@ -93,11 +111,20 @@ class AgileHost {
 
   void closeNvme();
 
-  // Total in-flight AGILE transactions across all SQs.
+  // Total in-flight AGILE transactions across all SQs. With the retry tier
+  // enabled this includes commands between attempts (backoff / parked on a
+  // full queue) and excludes parked kTimedOut CIDs whose transaction has
+  // already been handed to a retry.
   std::uint32_t pendingTransactions() const;
 
   // Commands errored by the per-command I/O watchdog, across all SQs.
   std::uint64_t ioTimeouts() const;
+
+  // Aggregated robustness telemetry (retries, failovers, quarantined QPs).
+  IoHealthStats ioHealth() const;
+
+  // Null unless HostConfig::retry.enabled().
+  RetryController* retryController() { return retry_.get(); }
 
  private:
   HostConfig cfg_;
@@ -105,6 +132,7 @@ class AgileHost {
   gpu::Gpu gpu_;
   std::vector<std::unique_ptr<nvme::SsdController>> ssds_;
   QueuePairSet qps_;
+  std::unique_ptr<RetryController> retry_;
   std::unique_ptr<StagingPool> staging_;
   std::unique_ptr<AgileService> service_;
   gpu::KernelHandle serviceKernel_;

@@ -118,6 +118,11 @@ void AgileSq::onTimeout(std::uint32_t slot, std::uint64_t gen) {
   Transaction& t = txn[slot];
   if (t.kind == TxnKind::kNone || t.kind == TxnKind::kTimedOut) return;
   watchdog[slot] = sim::TimerId{};
+  // Bounded retry tier: abort the original on the device and re-issue after
+  // backoff (possibly on another QP); once the attempt budget is spent the
+  // tier aborts-and-settles itself (a swallowed completion must not park
+  // the CID forever). The legacy path below only runs with the tier off.
+  if (retry != nullptr && retry->onWatchdogExpiry(*this, slot)) return;
   // The SQE stays ISSUED in every case: its CID — and, crucially, any
   // memory the device may still DMA — remain claimed until the device
   // answers. The watchdog only errors what can be released without
@@ -158,6 +163,7 @@ void AgileSq::onTimeout(std::uint32_t slot, std::uint64_t gen) {
       const Transaction timedOut = t;
       t = Transaction{};
       t.kind = TxnKind::kTimedOut;
+      ++parked;
       settleTransaction(*engine, timedOut, nvme::Status::kCommandAborted);
       return;
     }
@@ -172,6 +178,7 @@ void AgileSq::onTimeout(std::uint32_t slot, std::uint64_t gen) {
       t.kind = TxnKind::kTimedOut;
       t.staging = timedOut.staging;
       t.stagingPool = timedOut.stagingPool;
+      ++parked;
       timedOut.staging = nullptr;  // settle must not recycle it
       settleTransaction(*engine, timedOut, nvme::Status::kCommandAborted);
       return;
@@ -180,6 +187,142 @@ void AgileSq::onTimeout(std::uint32_t slot, std::uint64_t gen) {
     case TxnKind::kTimedOut:
       return;  // unreachable (checked above)
   }
+}
+
+// --- bounded retry / backoff / failover tier ------------------------------
+
+bool RetryController::onRetryableError(AgileSq& sq, std::uint32_t slot) {
+  const Transaction& t = sq.txn[slot];
+  if (t.attempt >= policy_.maxAttempts) {
+    ++aborted_;
+    return false;
+  }
+  Pending p;
+  p.dev = sq.ssdIdx;
+  p.fromQp = sq.qpIndex;
+  p.cmd = sq.ring[slot];
+  p.txn = t;
+  ++p.txn.attempt;
+  ++retries_;
+  scheduleBackoff(std::move(p));
+  return true;
+}
+
+bool RetryController::onWatchdogExpiry(AgileSq& sq, std::uint32_t slot) {
+  // Consecutive-timeout health: quarantine the QP after K strikes in a row.
+  ++sq.consecTimeouts;
+  if (policy_.quarantineAfter > 0 &&
+      sq.consecTimeouts >= policy_.quarantineAfter &&
+      sq.quarantinedUntil == 0) {
+    sq.quarantinedUntil = engine_->now() + policy_.quarantineCooldownNs;
+    ++sq.quarantines;
+    ++quarantines_;
+  }
+  if (sq.txn[slot].attempt >= policy_.maxAttempts) {
+    // Budget spent. Unlike the tier-off path (which parks the CID and waits
+    // for the device's late answer), abort the original first: a command
+    // whose completion the fault injector swallowed would otherwise park
+    // the slot — and pin a write's staging page — forever.
+    ++aborted_;
+    ++sq.timeouts;
+    const Transaction dead = sq.txn[slot];
+    const auto r =
+        sq.ssd->abortCommand(sq.qid, narrowCast<std::uint16_t>(slot));
+    if (r == nvme::SsdController::AbortResult::kMissing) {
+      // CQE already on its way; it reclaims the CID via the kTimedOut path.
+      // The command has executed, so no memory needs to stay pinned.
+      sq.txn[slot] = Transaction{};
+      sq.txn[slot].kind = TxnKind::kTimedOut;
+      ++sq.parked;
+    } else {
+      // kAborted / kLost: dead on the device, the slot is free now.
+      sq.txn[slot] = Transaction{};
+      sq.state[slot] = SqeState::kEmpty;
+      AGILE_CHECK(sq.live > 0);
+      --sq.live;
+      sq.freeWaiters.notifyOne(*engine_);
+    }
+    settleTransaction(*engine_, dead, nvme::Status::kCommandAborted);
+    return true;
+  }
+
+  Pending p;
+  p.dev = sq.ssdIdx;
+  p.fromQp = sq.qpIndex;
+  p.cmd = sq.ring[slot];
+  p.txn = sq.txn[slot];
+  ++p.txn.attempt;
+
+  // Admin-abort the original: after this call the device guarantees the
+  // command performs no further DMA, so re-issuing into the same cache
+  // frame / user buffer / staging page cannot alias an in-flight transfer.
+  const auto r =
+      sq.ssd->abortCommand(sq.qid, narrowCast<std::uint16_t>(slot));
+  if (r == nvme::SsdController::AbortResult::kMissing) {
+    // The CQE is already posted (or backpressured): the CID stays claimed
+    // until the host consumes the late answer, which reclaims the slot via
+    // the kTimedOut path. It owns nothing — the retry carries the
+    // transaction, including any staging page.
+    sq.txn[slot] = Transaction{};
+    sq.txn[slot].kind = TxnKind::kTimedOut;
+    ++sq.parked;
+  } else {
+    // kAborted / kLost: the command is dead on the device; the slot is
+    // free for reuse right away.
+    sq.txn[slot] = Transaction{};
+    sq.state[slot] = SqeState::kEmpty;
+    AGILE_CHECK(sq.live > 0);
+    --sq.live;
+    sq.freeWaiters.notifyOne(*engine_);
+  }
+  ++retries_;
+  scheduleBackoff(std::move(p));
+  return true;
+}
+
+void RetryController::scheduleBackoff(Pending p) {
+  ++pending_;
+  SimTime delay = policy_.backoffBaseNs;
+  for (std::uint32_t i = 1; i < p.txn.attempt && delay < policy_.backoffMaxNs;
+       ++i) {
+    delay = static_cast<SimTime>(static_cast<double>(delay) *
+                                 policy_.backoffMultiplier);
+  }
+  if (delay > policy_.backoffMaxNs) delay = policy_.backoffMaxNs;
+  engine_->scheduleAfter(delay, [this, p] { reissue(p); });
+}
+
+void RetryController::reissue(Pending p) {
+  AgileSq& sq = pickQueue(p.dev, p.fromQp);
+  if (tryIssueFromHost(sq, p.cmd, p.txn)) {
+    --pending_;
+    if (sq.qpIndex != p.fromQp) ++failovers_;
+    return;
+  }
+  // Every candidate queue is full: re-try when the service frees an entry.
+  sq.freeWaiters.park([this, p] { reissue(p); });
+}
+
+AgileSq& RetryController::pickQueue(std::uint32_t dev, std::uint32_t fromQp) {
+  const std::uint32_t first = qps_->firstForSsd(dev);
+  const std::uint32_t n = qps_->countForSsd(dev);
+  const SimTime now = engine_->now();
+  const std::uint32_t fromLocal =
+      (fromQp >= first && fromQp < first + n) ? fromQp - first : 0;
+  // Fail over: start after the queue the attempt failed on, skip
+  // quarantined QPs, and prefer one with a free SQE.
+  AgileSq* fallback = nullptr;
+  for (std::uint32_t k = 1; k <= n; ++k) {
+    AgileSq& sq = *qps_->sqs[first + (fromLocal + k) % n];
+    if (qpQuarantined(sq, now)) continue;
+    if (fallback == nullptr) fallback = &sq;
+    if (sq.inFlight() < sq.depth - 1) return sq;
+  }
+  // Everything quarantined (or full): least-bad choice — the first
+  // candidate in failover order, quarantine notwithstanding (waiting out
+  // every cooldown with the command in hand would stall the caller).
+  return fallback != nullptr ? *fallback
+                             : *qps_->sqs[first + (fromLocal + 1) % n];
 }
 
 }  // namespace agile::core

@@ -43,6 +43,7 @@ enum class TxnKind : std::uint8_t {
 };
 
 class StagingPool;
+class RetryController;
 
 struct Transaction {
   TxnKind kind = TxnKind::kNone;
@@ -55,7 +56,37 @@ struct Transaction {
   // decrements the op's outstanding-fill count. Generation-checked, so a
   // ref outliving its op is harmless.
   IoOpRef op;
+  // Re-issue count of the bounded retry tier; rides the transaction across
+  // re-issues so the budget is per logical command, not per attempt.
+  std::uint8_t attempt = 0;
 };
+
+// Bounded retry / backoff / failover policy layered on the per-command
+// watchdog (HostConfig::retry). Disabled by default: maxAttempts == 0 keeps
+// the PR-5 first-expiry-errors behavior and schedules nothing, so figure
+// reproductions are byte-identical.
+struct RetryPolicy {
+  // Re-issues allowed per logical command after its first attempt.
+  std::uint32_t maxAttempts = 0;
+  // Exponential backoff between attempts, scheduled on the timer wheel.
+  SimTime backoffBaseNs = 20'000;       // 20 us before the first re-issue
+  double backoffMultiplier = 2.0;
+  SimTime backoffMaxNs = 2'000'000;     // 2 ms cap
+  // Quarantine a queue pair after this many consecutive watchdog timeouts;
+  // issue-side selection skips it until the cooldown elapses, after which
+  // the next command through is the re-probe (0 = never quarantine).
+  std::uint32_t quarantineAfter = 4;
+  SimTime quarantineCooldownNs = 5'000'000;  // 5 ms
+  bool enabled() const { return maxAttempts > 0; }
+};
+
+// Statuses worth re-issuing: transient media errors. Host-synthesized
+// aborts and programming errors (invalid opcode/field, out of range) are
+// final.
+constexpr bool isRetryableStatus(nvme::Status s) {
+  return s == nvme::Status::kUnrecoveredReadError ||
+         s == nvme::Status::kWriteFault;
+}
 
 inline constexpr std::uint32_t kNoSlot = std::numeric_limits<std::uint32_t>::max();
 
@@ -87,6 +118,18 @@ struct AgileSq {
   std::vector<sim::TimerId> watchdog;
   std::vector<std::uint64_t> cmdGen;  // bumped per alloc; guards stale fires
   std::uint64_t timeouts = 0;         // commands errored by the watchdog
+
+  // --- bounded retry tier (HostConfig::retry; null when disabled) ---
+  RetryController* retry = nullptr;
+  std::uint32_t qpIndex = 0;          // this SQ's index in QueuePairSet::sqs
+  // Consecutive watchdog expiries; reset by any successful completion.
+  std::uint32_t consecTimeouts = 0;
+  // Nonzero while quarantined: issue-side selection skips this QP until the
+  // deadline passes (the next command through is the cooldown re-probe).
+  SimTime quarantinedUntil = 0;
+  // kTimedOut slots whose CID is parked awaiting a late device answer.
+  std::uint32_t parked = 0;
+  std::uint64_t quarantines = 0;      // times this QP entered quarantine
 
   // Claim the next ring slot if it is EMPTY. Ring order allocation matches
   // NVMe SQ semantics: the tail cannot pass a slot whose command has not
@@ -205,6 +248,99 @@ class StagingPool {
   sim::WaitList waiters_;
 };
 
+// Bounded retry / backoff / failover tier. One instance per AgileHost,
+// shared by every SQ (a retry may fail over to a different queue pair of
+// the same SSD). Triggered from two places:
+//   - applyCompletion, when a command completes with a retryable media
+//     error: the transaction is taken over and re-issued after backoff;
+//   - AgileSq::onTimeout, when the per-command watchdog expires: the
+//     original command is admin-aborted on the device (so its DMA can never
+//     race the retry's — see SsdController::abortCommand), the slot is
+//     freed (or parked as kTimedOut when the completion is already on its
+//     way), and the command is re-issued after backoff.
+// Cache fill frames stay BUSY and tag-mapped across re-issues, write
+// staging pages move to the retry attempt unrecycled, and token ops are
+// notified exactly once — by whichever attempt finally settles.
+// Only when the attempt budget is exhausted is the transaction errored
+// with nvme::Status::kCommandAborted.
+class RetryController {
+ public:
+  RetryController(sim::Engine& engine, QueuePairSet& qps, RetryPolicy policy)
+      : engine_(&engine), qps_(&qps), policy_(policy) {}
+
+  const RetryPolicy& policy() const { return policy_; }
+
+  // Retryable error status for a live transaction (from applyCompletion).
+  // True: the transaction was taken over for re-issue; the caller frees the
+  // SQE without settling it. False: budget exhausted; the caller settles
+  // with kCommandAborted.
+  bool onRetryableError(AgileSq& sq, std::uint32_t slot);
+
+  // Watchdog expiry on a live transaction (from AgileSq::onTimeout, after
+  // the stale-fire checks). Always handles the expiry when the tier is on:
+  // either the slot is taken over and a re-issue scheduled, or — budget
+  // exhausted — the original is admin-aborted and the transaction settled
+  // with kCommandAborted (never parked forever on a swallowed completion).
+  bool onWatchdogExpiry(AgileSq& sq, std::uint32_t slot);
+
+  // Health bookkeeping on every successful completion (cheap).
+  void onSuccess(AgileSq& sq, const Transaction& txn) {
+    sq.consecTimeouts = 0;
+    if (txn.attempt > 0) ++rescued_;
+  }
+
+  void noteCooldownProbe() { ++cooldownProbes_; }
+
+  // Re-issues currently waiting out a backoff window or parked on a full
+  // queue; counted into AgileHost::pendingTransactions() so drainIo covers
+  // them.
+  std::uint32_t pendingRetries() const { return pending_; }
+
+  // --- health stats ---
+  std::uint64_t retries() const { return retries_; }
+  std::uint64_t failovers() const { return failovers_; }
+  std::uint64_t rescued() const { return rescued_; }
+  std::uint64_t aborted() const { return aborted_; }
+  std::uint64_t quarantines() const { return quarantines_; }
+  std::uint64_t cooldownProbes() const { return cooldownProbes_; }
+
+ private:
+  // A command between attempts: everything needed to re-issue it.
+  struct Pending {
+    std::uint32_t dev = 0;
+    std::uint32_t fromQp = 0;  // QueuePairSet index of the failed attempt
+    nvme::Sqe cmd;
+    Transaction txn;
+  };
+
+  void scheduleBackoff(Pending p);
+  void reissue(Pending p);
+  AgileSq& pickQueue(std::uint32_t dev, std::uint32_t fromQp);
+
+  sim::Engine* engine_;
+  QueuePairSet* qps_;
+  RetryPolicy policy_;
+  std::uint32_t pending_ = 0;
+  std::uint64_t retries_ = 0;
+  std::uint64_t failovers_ = 0;
+  std::uint64_t rescued_ = 0;
+  std::uint64_t aborted_ = 0;
+  std::uint64_t quarantines_ = 0;
+  std::uint64_t cooldownProbes_ = 0;
+};
+
+// True while `sq` is quarantined at `now`. A probe past the cooldown
+// deadline lifts the quarantine and counts as the re-probe; consecTimeouts
+// is deliberately not reset, so one more timeout re-quarantines immediately
+// while a success clears the strike count.
+inline bool qpQuarantined(AgileSq& sq, SimTime now) {
+  if (sq.quarantinedUntil == 0) return false;
+  if (now < sq.quarantinedUntil) return true;
+  sq.quarantinedUntil = 0;
+  if (sq.retry != nullptr) sq.retry->noteCooldownProbe();
+  return false;
+}
+
 // The transaction-side state change of one finished (or timed-out) command:
 // cache-line transition, buffer barrier completion, staging recycle, and
 // token-op notification. Shared by applyCompletion and the I/O watchdog so
@@ -252,6 +388,25 @@ inline void applyCompletion(sim::Engine& engine, AgileSq& sq,
   AGILE_CHECK_MSG(sq.state[slot] == SqeState::kIssued,
                   "completion for a non-issued SQE");
   sq.disarmWatchdog(slot);
+
+  // Bounded retry tier: a retryable media error re-issues the command with
+  // backoff instead of settling the transaction; only once the budget is
+  // exhausted is the transaction errored — with kCommandAborted, matching
+  // the watchdog-exhaustion path.
+  if (sq.retry != nullptr && isRetryableStatus(status) &&
+      sq.txn[slot].kind != TxnKind::kTimedOut &&
+      sq.txn[slot].kind != TxnKind::kNone) {
+    if (sq.retry->onRetryableError(sq, slot)) {
+      sq.txn[slot] = Transaction{};
+      sq.state[slot] = SqeState::kEmpty;
+      AGILE_CHECK(sq.live > 0);
+      --sq.live;
+      sq.freeWaiters.notifyOne(engine);
+      return;
+    }
+    status = nvme::Status::kCommandAborted;
+  }
+
   Transaction txn = sq.txn[slot];
   sq.txn[slot] = Transaction{};
   sq.state[slot] = SqeState::kEmpty;
@@ -262,11 +417,15 @@ inline void applyCompletion(sim::Engine& engine, AgileSq& sq,
   // answer reclaims the CID and any DMA memory the watchdog had to keep
   // pinned (the staging page of a timed-out write).
   if (txn.kind == TxnKind::kTimedOut) {
+    if (sq.parked > 0) --sq.parked;
     if (txn.staging != nullptr) {
       AGILE_CHECK(txn.stagingPool != nullptr);
       txn.stagingPool->put(engine, txn.staging);
     }
   } else {
+    if (sq.retry != nullptr && status == nvme::Status::kSuccess) {
+      sq.retry->onSuccess(sq, txn);
+    }
     settleTransaction(engine, txn, status);
   }
   // A freed SQE may unblock an issuer parked on the full queue (§3.2.1's

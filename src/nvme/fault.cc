@@ -1,0 +1,72 @@
+#include "nvme/fault.h"
+
+namespace agile::nvme {
+
+namespace {
+
+// splitmix64 — decorrelates window indices / qids from the raw seed.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(const FaultPlan& plan)
+    : plan_(plan), rng_(plan.seed), qpPhase_(mix(plan.seed)) {}
+
+bool FaultInjector::shouldDrop() {
+  if (plan_.dropRate <= 0.0) return false;
+  if (rng_.nextDouble() >= plan_.dropRate) return false;
+  ++droppedCompletions_;
+  return true;
+}
+
+Status FaultInjector::adjudicate(bool isRead) {
+  const double rate = isRead ? plan_.readErrorRate : plan_.writeErrorRate;
+  if (rate <= 0.0) return Status::kSuccess;
+  if (rng_.nextDouble() >= rate) return Status::kSuccess;
+  if (isRead) {
+    ++injectedReadErrors_;
+    return Status::kUnrecoveredReadError;
+  }
+  ++injectedWriteErrors_;
+  return Status::kWriteFault;
+}
+
+SimTime FaultInjector::extraLatency(SimTime at, std::uint32_t qid) const {
+  SimTime extra = 0;
+
+  if (plan_.gcPauseIntervalNs > 0 && plan_.gcPauseDurationNs > 0) {
+    // Pause window k starts at k*interval + jitter(k), jitter < interval/4.
+    // A command starting inside a window waits for its end. Window k's
+    // start is a pure function of (k, seed), so the schedule is identical
+    // no matter how (or whether) commands observe it.
+    const SimTime interval = plan_.gcPauseIntervalNs;
+    const std::uint64_t k = at / interval;
+    for (std::uint64_t w = (k == 0 ? 0 : k - 1); w <= k; ++w) {
+      const SimTime start =
+          w * interval +
+          static_cast<SimTime>(mix(plan_.seed ^ w) % (interval / 4 + 1));
+      const SimTime end = start + plan_.gcPauseDurationNs;
+      if (at >= start && at < end) {
+        extra += end - at;
+        break;
+      }
+    }
+  }
+
+  if (plan_.brownoutStride > 0 && plan_.brownoutPeriodNs > 0 &&
+      plan_.brownoutDurationNs > 0) {
+    const bool affected =
+        (qid % plan_.brownoutStride) == (qpPhase_ % plan_.brownoutStride);
+    if (affected && (at % plan_.brownoutPeriodNs) < plan_.brownoutDurationNs) {
+      extra += plan_.brownoutExtraNs;
+    }
+  }
+  return extra;
+}
+
+}  // namespace agile::nvme

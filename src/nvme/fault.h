@@ -1,0 +1,92 @@
+// Deterministic, seeded fault injection for the simulated NVMe controller.
+//
+// A FaultPlan is an opt-in field on SsdConfig describing how the device
+// misbehaves:
+//   (a) transient media errors — a command completes with a *retryable*
+//       status (kUnrecoveredReadError / kWriteFault) without touching flash,
+//   (b) swallowed completions — the command is lost inside the device
+//       firmware: no DMA is performed and no CQE is ever posted (this is
+//       what the host-side I/O watchdog exists for),
+//   (c) latency storms — GC-pause windows that stall the whole device, and
+//       per-queue-pair brownouts that slow a subset of queues.
+//
+// Every decision is reproducible: the per-command error/drop draws come from
+// a common/rng xoshiro stream seeded by FaultPlan::seed (the engine's event
+// order is deterministic, so the draw order is too), and the storm/brownout
+// windows are pure functions of (virtual time, qid, seed). Two runs with the
+// same plan and workload behave identically; a disabled plan changes no
+// behavior at all.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "nvme/defs.h"
+
+namespace agile::nvme {
+
+struct FaultPlan {
+  bool enabled = false;       // master gate; false = injector never consulted
+  std::uint64_t seed = 0x5eedf417u;
+
+  // (a) Transient retryable statuses, per command, adjudicated at the point
+  // the DMA would run. An injected error performs no flash access.
+  double readErrorRate = 0.0;   // P(read -> kUnrecoveredReadError)
+  double writeErrorRate = 0.0;  // P(write -> kWriteFault)
+
+  // (b) Swallowed completions: the command is dropped at execute time — no
+  // service, no DMA, no CQE. Only the watchdog can recover from this.
+  double dropRate = 0.0;
+
+  // (c) GC-pause storms: roughly every gcPauseIntervalNs the device stalls
+  // for gcPauseDurationNs; commands whose service would start inside a pause
+  // window wait for the window to end. Start times carry deterministic
+  // per-window jitter so pauses do not phase-lock with the workload.
+  SimTime gcPauseIntervalNs = 0;  // 0 disables storms
+  SimTime gcPauseDurationNs = 0;
+
+  // Per-queue-pair brownouts: every brownoutStride-th queue pair (phase
+  // derived from the seed) adds brownoutExtraNs of latency to commands
+  // executing inside recurring [k*period, k*period + duration) windows.
+  std::uint32_t brownoutStride = 0;  // 0 disables brownouts
+  SimTime brownoutPeriodNs = 0;
+  SimTime brownoutDurationNs = 0;
+  SimTime brownoutExtraNs = 0;
+};
+
+// Per-controller injector state. Owned by SsdController; only constructed
+// when the plan is enabled, so the disabled path costs nothing.
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultPlan& plan);
+
+  const FaultPlan& plan() const { return plan_; }
+
+  // Per-command decisions, in device event order (deterministic).
+  // True if this command's completion is swallowed.
+  bool shouldDrop();
+  // kSuccess, or the injected retryable status for this command.
+  Status adjudicate(bool isRead);
+
+  // Extra latency for a command whose service starts at `at` on queue
+  // `qid`: remaining GC-pause time plus any brownout penalty. Pure function
+  // of (at, qid, seed) — independent of call order.
+  SimTime extraLatency(SimTime at, std::uint32_t qid) const;
+
+  // --- telemetry ---
+  std::uint64_t injectedReadErrors() const { return injectedReadErrors_; }
+  std::uint64_t injectedWriteErrors() const { return injectedWriteErrors_; }
+  std::uint64_t droppedCompletions() const { return droppedCompletions_; }
+
+ private:
+  FaultPlan plan_;
+  Rng rng_;
+  std::uint64_t qpPhase_ = 0;  // seed-derived brownout phase
+
+  std::uint64_t injectedReadErrors_ = 0;
+  std::uint64_t injectedWriteErrors_ = 0;
+  std::uint64_t droppedCompletions_ = 0;
+};
+
+}  // namespace agile::nvme

@@ -11,7 +11,11 @@ SsdController::SsdController(sim::Engine& engine, SsdConfig cfg)
       flash_(cfg.capacityLbas),
       readBucket_(cfg.readIops, cfg.iopsBurst),
       writeBucket_(cfg.writeIops, cfg.iopsBurst),
-      faultRng_(cfg.faultSeed) {}
+      faultRng_(cfg.faultSeed) {
+  if (cfg_.fault.enabled) {
+    fault_ = std::make_unique<FaultInjector>(cfg_.fault);
+  }
+}
 
 std::uint32_t SsdController::createQueuePair(Sqe* sq, Cqe* cq,
                                              std::uint32_t depth) {
@@ -67,7 +71,37 @@ std::uint32_t SsdController::acquireSlot(const Sqe& sqe, std::uint32_t qid) {
   }
   inflight_[slot].sqe = sqe;
   inflight_[slot].qid = qid;
+  inflight_[slot].active = true;
+  inflight_[slot].aborted = false;
   return slot;
+}
+
+void SsdController::releaseSlot(std::uint32_t slot) {
+  inflight_[slot].active = false;
+  inflight_[slot].aborted = false;
+  freeSlots_.push_back(slot);
+  AGILE_CHECK(outstanding_ > 0);
+  --outstanding_;
+}
+
+SsdController::AbortResult SsdController::abortCommand(std::uint32_t qid,
+                                                       std::uint16_t cid) {
+  const std::uint64_t key = (static_cast<std::uint64_t>(qid) << 16) | cid;
+  for (std::size_t i = 0; i < droppedKeys_.size(); ++i) {
+    if (droppedKeys_[i] == key) {
+      droppedKeys_[i] = droppedKeys_.back();
+      droppedKeys_.pop_back();
+      return AbortResult::kLost;
+    }
+  }
+  for (auto& cmd : inflight_) {
+    if (cmd.active && !cmd.aborted && cmd.qid == qid && cmd.sqe.cid == cid) {
+      cmd.aborted = true;
+      ++abortsHonored_;
+      return AbortResult::kAborted;
+    }
+  }
+  return AbortResult::kMissing;
 }
 
 void SsdController::fetchFrom(std::uint32_t qid) {
@@ -103,6 +137,10 @@ SimTime SsdController::jitteredLatency(SimTime base, std::uint64_t key) {
 }
 
 void SsdController::executeCommand(std::uint32_t slot, SimTime fetchTime) {
+  if (inflight_[slot].aborted) {
+    releaseSlot(slot);
+    return;
+  }
   const Sqe sqe = inflight_[slot].sqe;
   const std::uint32_t qid = inflight_[slot].qid;
   const auto op = static_cast<Opcode>(sqe.opcode);
@@ -123,6 +161,16 @@ void SsdController::executeCommand(std::uint32_t slot, SimTime fetchTime) {
     return;
   }
 
+  // Injected completion loss: the command dies inside the firmware — no
+  // service, no DMA, no CQE. Remembered so a later admin abort can tell
+  // the host the command is gone for good (kLost).
+  if (fault_ != nullptr && fault_->shouldDrop()) {
+    ++droppedCompletions_;
+    droppedKeys_.push_back((static_cast<std::uint64_t>(qid) << 16) | sqe.cid);
+    releaseSlot(slot);
+    return;
+  }
+
   const bool isRead = op == Opcode::kRead;
   auto& bucket = isRead ? readBucket_ : writeBucket_;
   const SimTime serviceStart =
@@ -130,18 +178,38 @@ void SsdController::executeCommand(std::uint32_t slot, SimTime fetchTime) {
   const SimTime latency = jitteredLatency(
       isRead ? cfg_.readLatencyNs : cfg_.writeLatencyNs,
       sqe.slba ^ (static_cast<std::uint64_t>(sqe.cid) << 40) ^ qid);
-  const SimTime doneAt = serviceStart + latency;
+  // GC-pause storms and per-QP brownouts postpone service deterministically.
+  const SimTime stormDelay =
+      fault_ != nullptr ? fault_->extraLatency(serviceStart, qid) : 0;
+  const SimTime doneAt = serviceStart + stormDelay + latency;
 
-  engine_->scheduleAt(doneAt, [this, slot] {
-    Status st = doDma(inflight_[slot].sqe);
-    completeSlot(slot, st);
-  });
+  engine_->scheduleAt(doneAt, [this, slot] { finishCommand(slot); });
+}
+
+void SsdController::finishCommand(std::uint32_t slot) {
+  if (inflight_[slot].aborted) {
+    releaseSlot(slot);
+    return;
+  }
+  const Sqe sqe = inflight_[slot].sqe;
+  const bool isRead = static_cast<Opcode>(sqe.opcode) == Opcode::kRead;
+  Status st = Status::kSuccess;
+  if (fault_ != nullptr) {
+    st = fault_->adjudicate(isRead);
+    if (st != Status::kSuccess) ++injectedErrors_;
+  }
+  if (st == Status::kSuccess) st = doDma(sqe);
+  completeSlot(slot, st);
 }
 
 void SsdController::completeSlot(std::uint32_t slot, Status status) {
+  if (inflight_[slot].aborted) {
+    releaseSlot(slot);
+    return;
+  }
   const Sqe sqe = inflight_[slot].sqe;
   const std::uint32_t qid = inflight_[slot].qid;
-  freeSlots_.push_back(slot);
+  releaseSlot(slot);
   complete(qid, sqe, status);
 }
 
@@ -193,8 +261,6 @@ Status SsdController::doDma(const Sqe& sqe) {
 
 void SsdController::complete(std::uint32_t qid, const Sqe& sqe, Status status) {
   auto& qp = *qps_[qid - 1];
-  AGILE_CHECK(outstanding_ > 0);
-  --outstanding_;
   if (status != Status::kSuccess) ++errorsReturned_;
 
   Cqe cqe;

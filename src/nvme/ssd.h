@@ -23,6 +23,7 @@
 #include "common/types.h"
 #include "gpu/hbm.h"
 #include "nvme/defs.h"
+#include "nvme/fault.h"
 #include "nvme/flash_store.h"
 #include "sim/engine.h"
 #include "sim/token_bucket.h"
@@ -48,6 +49,9 @@ struct SsdConfig {
   // If nonzero, DMA copies only this many bytes per page (timing unchanged);
   // large bandwidth sweeps use it to bound host memory.
   std::uint32_t payloadBytes = 0;
+  // Opt-in deterministic fault injection (transient errors, dropped
+  // completions, latency storms). Disabled by default; see nvme/fault.h.
+  FaultPlan fault;
 };
 
 // One registered I/O queue pair as seen from the device side.
@@ -95,6 +99,23 @@ class SsdController {
 
   // Fault injection: force media errors on a specific LBA.
   void injectFault(std::uint64_t lba) { faultLbas_.push_back(lba); }
+  void clearInjectedFaults() { faultLbas_.clear(); }
+  // Seeded fault injector (null unless SsdConfig::fault.enabled).
+  const FaultInjector* faultInjector() const { return fault_.get(); }
+
+  // Admin abort (NVMe Abort command, modeled as instantaneous): ask the
+  // device to cancel command `cid` on queue `qid`. The result tells the
+  // host-side retry tier whether the command's DMA can still happen:
+  //   kAborted — the command was still queued/executing; it is marked dead
+  //              and will never DMA nor post a CQE.
+  //   kMissing — the device has already executed it; its CQE is posted (or
+  //              backpressured) and will reach the host. No future DMA.
+  //   kLost    — the completion was swallowed by the fault injector; the
+  //              command is gone and will never answer. No future DMA.
+  // In every case the host is guaranteed no DMA after the call returns,
+  // which is what makes re-issuing into the same buffers safe.
+  enum class AbortResult : std::uint8_t { kAborted, kMissing, kLost };
+  AbortResult abortCommand(std::uint32_t qid, std::uint16_t cid);
 
   // --- stats ---
   std::uint64_t readsCompleted() const { return readsCompleted_; }
@@ -105,6 +126,9 @@ class SsdController {
   std::uint64_t maxObservedOutstanding() const { return maxOutstanding_; }
   // High-water mark of the in-flight command pool (capacity telemetry).
   std::size_t inflightPoolSize() const { return inflight_.size(); }
+  std::uint64_t droppedCompletions() const { return droppedCompletions_; }
+  std::uint64_t abortsHonored() const { return abortsHonored_; }
+  std::uint64_t injectedErrors() const { return injectedErrors_; }
 
  private:
   // An in-flight command parked between its fetch, execute, and completion
@@ -115,11 +139,16 @@ class SsdController {
   struct Inflight {
     Sqe sqe;
     std::uint32_t qid = 0;
+    bool active = false;   // slot holds a live command (not on the free list)
+    bool aborted = false;  // admin abort landed; pending events are no-ops
   };
 
   std::uint32_t acquireSlot(const Sqe& sqe, std::uint32_t qid);
+  void releaseSlot(std::uint32_t slot);
   void fetchFrom(std::uint32_t qid);
   void executeCommand(std::uint32_t slot, SimTime fetchTime);
+  // DMA + completion at the command's service-done time.
+  void finishCommand(std::uint32_t slot);
   // Post the slot's completion and recycle it.
   void completeSlot(std::uint32_t slot, Status status);
   void complete(std::uint32_t qid, const Sqe& sqe, Status status);
@@ -139,6 +168,10 @@ class SsdController {
   std::vector<std::uint32_t> freeSlots_;
   std::vector<std::uint64_t> faultLbas_;
   Rng faultRng_;
+  std::unique_ptr<FaultInjector> fault_;
+  // (qid << 16 | cid) keys of commands whose completion the injector
+  // swallowed; abortCommand reports these as kLost and forgets them.
+  std::vector<std::uint64_t> droppedKeys_;
 
   std::uint64_t readsCompleted_ = 0;
   std::uint64_t writesCompleted_ = 0;
@@ -147,6 +180,9 @@ class SsdController {
   std::uint64_t errorsReturned_ = 0;
   std::uint64_t outstanding_ = 0;
   std::uint64_t maxOutstanding_ = 0;
+  std::uint64_t droppedCompletions_ = 0;
+  std::uint64_t abortsHonored_ = 0;
+  std::uint64_t injectedErrors_ = 0;
 };
 
 }  // namespace agile::nvme

@@ -218,11 +218,15 @@ TEST_F(CtrlFixture, ShareTableSharesBuffers) {
   auto* memA = host->gpu().hbm().allocBytes(nvme::kLbaBytes);
   auto* memB = host->gpu().hbm().allocBytes(nvme::kLbaBytes);
   bool sharedHit = false;
+  // A share-redirected peer references the owner's buffer, so the buffers
+  // must outlive both lanes (not live in a coroutine frame that may be
+  // destroyed while the peer still waits on the owner's barrier).
+  AgileBuf bufA(memA), bufB(memB);
   ASSERT_TRUE(host->runKernel(
       {.gridDim = 1, .blockDim = 2, .name = "share"},
       [&](gpu::KernelCtx& ctx) -> gpu::GpuTask<void> {
         AgileLockChain chain;
-        AgileBuf buf(ctx.threadIdx() == 0 ? memA : memB);
+        AgileBuf& buf = ctx.threadIdx() == 0 ? bufA : bufB;
         AgileBufPtr ptr(buf);
         if (ctx.threadIdx() == 1) {
           // Let thread 0 win the race and own the entry.

@@ -262,11 +262,15 @@ TEST_F(TokenFixture, ReusedBufPtrDropsStaleShareRedirect) {
   auto* memA = host->gpu().hbm().allocBytes(nvme::kLbaBytes);
   auto* memB = host->gpu().hbm().allocBytes(nvme::kLbaBytes);
   std::uint64_t wordAfterWait = 0;
+  // Thread 1 share-hits onto thread 0's buffer, so both buffers must
+  // outlive both lanes: a coroutine-frame local would be destroyed when
+  // thread 0 finishes while thread 1 still waits on its barrier.
+  AgileBuf bufA(memA), bufB(memB);
   ASSERT_TRUE(host->runKernel(
       {.gridDim = 1, .blockDim = 2, .name = "tok-reuse"},
       [&](gpu::KernelCtx& ctx) -> gpu::GpuTask<void> {
         AgileLockChain chain;
-        AgileBuf buf(ctx.threadIdx() == 0 ? memA : memB);
+        AgileBuf& buf = ctx.threadIdx() == 0 ? bufA : bufB;
         AgileBufPtr ptr(buf);
         if (ctx.threadIdx() == 1) co_await gpu::compute(ctx, 2000);
         co_await ctrl->asyncRead(ctx, 0, 55, ptr, chain);

@@ -112,11 +112,15 @@ TEST_F(ServiceFixture, WatchdogErrorsSlowCommand) {
   ASSERT_TRUE(ok);
   EXPECT_FALSE(readOk);  // errored by the watchdog, not the device
   EXPECT_EQ(host->ioTimeouts(), 1u);
-  // The CID is still claimed until the device answers.
-  EXPECT_EQ(host->pendingTransactions(), 1u);
+  // The CID is still claimed until the device answers, but the caller was
+  // already settled: the parked slot is sacrificed capacity, not pending
+  // work (drainIo must not wedge on it if the answer never comes).
+  EXPECT_EQ(host->ioHealth().parkedSlots, 1u);
+  EXPECT_EQ(host->pendingTransactions(), 0u);
   // Let the real (late) completion land: the slot is reclaimed, the
   // transaction is not settled a second time.
   host->engine().runFor(host->engine().now() + 20_ms);
+  EXPECT_EQ(host->ioHealth().parkedSlots, 0u);
   EXPECT_EQ(host->pendingTransactions(), 0u);
   EXPECT_EQ(host->ioTimeouts(), 1u);
 }

@@ -13,7 +13,8 @@ of events/sec per workload for the most recent commits, so performance
 regressions are visible in the job summary before they compound.
 
 Covered payloads: BENCH_engine.json (engine_stress), BENCH_gather.json
-(async_gather), BENCH_cache.json (cache_probe). Any workload entry with a
+(async_gather), BENCH_cache.json (cache_probe), BENCH_fault.json
+(fault_storm). Any workload entry with a
 new_events_per_sec field lands in the table; the geomean column falls back
 to a bench's headline speedup when no geomean is reported.
 
@@ -53,6 +54,10 @@ def summarize(payload):
     if geomean is None:
         # Headline fallbacks for benches without a per-workload geomean.
         geomean = payload.get("speedup_at_8_shards", payload.get("best_speedup"))
+    if geomean is None:
+        # fault_storm headline: goodput at the gated fault rate relative to
+        # the fault-free run.
+        geomean = payload.get("goodput_retention")
     return {
         "workloads": flat,
         "geomean_speedup": geomean,
