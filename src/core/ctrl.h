@@ -215,26 +215,37 @@ class AgileCtrl {
         const std::uint64_t tag = e->tag;
         AgileBuf& data = *buf.active();
         bool needProp = false;
-        if (share_.release(ctx, *e, &needProp) && needProp) {
+        const bool last = share_.release(ctx, *e, &needProp);
+        if (last && needProp) {
           co_await propagateToCache(ctx, tag, data, chain);
+        } else if (!last && e->refCount == 1) {
+          // Only the owner's reference remains; wake it if it is parked in
+          // releaseOwned() waiting to reclaim the buffer.
+          e->drainWaiters.notifyAll(host_->engine());
         }
       }
     }
     co_return;
   }
 
-  // Owner-side release, keyed by the page the buffer holds.
+  // Owner-side release, keyed by the page the buffer holds. If sharers are
+  // still attached to this buffer the owner parks until they detach, so the
+  // buffer memory is safe to reuse the moment this returns.
   gpu::GpuTask<void> releaseOwned(gpu::KernelCtx& ctx, std::uint32_t dev,
                                   std::uint64_t lba, AgileBufPtr& buf,
                                   AgileLockChain& chain) {
     if constexpr (Share::kEnabled) {
-      ShareEntry* e = share_.find(makeTag(dev, lba));
+      const std::uint64_t tag = makeTag(dev, lba);
+      ShareEntry* e = share_.find(tag);
+      while (e != nullptr && e->refCount > 1) {
+        co_await ctx.parkOn(e->drainWaiters);
+        e = share_.find(tag);
+      }
       if (e != nullptr) {
         AGILE_CHECK(buf.active()->barrier().ready());
         bool needProp = false;
         if (share_.release(ctx, *e, &needProp) && needProp) {
-          co_await propagateToCache(ctx, makeTag(dev, lba), *buf.active(),
-                                    chain);
+          co_await propagateToCache(ctx, tag, *buf.active(), chain);
         }
       }
     }

@@ -21,6 +21,7 @@
 #include "core/buf.h"
 #include "core/cost_model.h"
 #include "gpu/exec.h"
+#include "sim/engine.h"
 
 namespace agile::core {
 
@@ -37,6 +38,11 @@ struct ShareEntry {
   AgileBuf* buf = nullptr;
   std::uint32_t refCount = 0;
   ShareState state = ShareState::kExclusive;
+  // An owner that wants its buffer back while sharers still read through it
+  // parks here; the release dropping refCount to 1 (owner-only) notifies.
+  // Without this, an owner that releases and immediately reuses its buffer
+  // for another page can overwrite data a redirected peer has not read yet.
+  sim::WaitList drainWaiters;
 };
 
 template <class Derived>

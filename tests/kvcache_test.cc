@@ -1,0 +1,246 @@
+// Integration tests for the SSD-backed KV-cache app (src/apps/kvcache/):
+// decode-step correctness against the in-DRAM reference model (byte-exact
+// token streams and attention traces), prefix-share hit accounting through
+// the prefix index and the Share Table, cancel-on-EOS leaking neither cache
+// lines nor token slots nor pool blocks, and the decode loop under the
+// NVMe fault injector with the bounded retry tier (100% eventual
+// completion, deterministic rerun).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "apps/kvcache/kvcache.h"
+#include "common/rng.h"
+#include "core/host.h"
+
+namespace agile::apps::kv {
+namespace {
+
+struct KvFixture : ::testing::Test {
+  std::unique_ptr<core::AgileHost> host;
+  std::unique_ptr<core::DefaultCtrl> ctrl;
+  std::uint32_t stagingPages = 128;
+
+  void build(std::uint32_t cacheLines, std::uint32_t capacityLbas = 8192,
+             const nvme::FaultPlan* fault = nullptr) {
+    core::HostConfig cfg;
+    cfg.queuePairsPerSsd = 4;
+    cfg.queueDepth = 64;
+    cfg.stagingPages = stagingPages;
+    if (fault != nullptr) {
+      cfg.ioTimeoutNs = 2'000'000;  // watchdog rescues swallowed completions
+      cfg.retry.maxAttempts = 8;
+      cfg.retry.backoffBaseNs = 50'000;
+      cfg.retry.quarantineAfter = 8;
+    }
+    host = std::make_unique<core::AgileHost>(cfg);
+    nvme::SsdConfig ssd;
+    ssd.capacityLbas = capacityLbas;
+    if (fault != nullptr) ssd.fault = *fault;
+    host->addNvmeDev(ssd);
+    host->initNvme();
+    ctrl = std::make_unique<core::DefaultCtrl>(
+        *host, core::CtrlConfig{.cacheLines = cacheLines});
+    host->startAgile();
+  }
+
+  void TearDown() override {
+    if (host && host->serviceRunning()) host->stopAgile();
+  }
+
+  static std::vector<std::uint32_t> makePrompt(Rng& rng, std::uint32_t len,
+                                               std::uint32_t vocab) {
+    std::vector<std::uint32_t> p(len);
+    for (auto& t : p) {
+      t = 1 + static_cast<std::uint32_t>(rng.nextBelow(vocab - 1));
+    }
+    return p;
+  }
+};
+
+// Every request's generated token stream and per-step attention trace must
+// match the DRAM reference byte-for-byte: one stale, torn, or misplaced KV
+// word anywhere in the flash path diverges the trace.
+TEST_F(KvFixture, DecodeMatchesDramReference) {
+  build(/*cacheLines=*/64);
+  KvConfig cfg;
+  cfg.maxBatch = 3;
+  cfg.poolBlocks = 1024;
+  cfg.recordAttnTrace = true;
+  KvServer server(*host, *ctrl, cfg);
+
+  Rng rng(21);
+  const auto prefix = makePrompt(rng, 12, cfg.vocab);
+  std::vector<KvRequest> reqs(3);
+  for (std::uint64_t id = 0; id < reqs.size(); ++id) {
+    reqs[id].id = id;
+    reqs[id].prompt = id < 2 ? prefix : makePrompt(rng, 10, cfg.vocab);
+    for (std::uint32_t i = 0; i < 5 * id; ++i) {
+      reqs[id].prompt.push_back(
+          1 + static_cast<std::uint32_t>(rng.nextBelow(cfg.vocab - 1)));
+    }
+    reqs[id].maxNewTokens = 20;
+    server.enqueue(reqs[id]);
+  }
+  ASSERT_TRUE(server.run());
+
+  ASSERT_EQ(server.retired().size(), 3u);
+  for (const KvRequestStats& st : server.retired()) {
+    const KvRefResult ref = referenceDecode(cfg, reqs[st.id]);
+    EXPECT_EQ(st.generated, ref.generated) << "request " << st.id;
+    EXPECT_EQ(st.attnTrace, ref.attnTrace) << "request " << st.id;
+  }
+  // Requests 0 and 1 share three full 4-token chunks of the 12-token prefix.
+  EXPECT_GT(server.stats().prefixChunkHits, 0u);
+  EXPECT_EQ(server.stats().requestsRetired, 3u);
+}
+
+// Two identical prompts: the second request must attach to every prompt
+// chunk of the first (per-layer block reuse accounted), and their
+// concurrent decode reads of the shared blocks must produce Share-Table
+// peer-buffer hits rather than duplicate SSD traffic.
+TEST_F(KvFixture, PrefixShareAccounting) {
+  build(/*cacheLines=*/32);
+  KvConfig cfg;
+  cfg.maxBatch = 2;
+  cfg.poolBlocks = 512;
+  KvServer server(*host, *ctrl, cfg);
+
+  Rng rng(33);
+  const auto prompt = makePrompt(rng, 16, cfg.vocab);  // 4 full chunks
+  std::vector<KvRequest> reqs(2);
+  for (std::uint64_t id = 0; id < 2; ++id) {
+    reqs[id].id = id;
+    reqs[id].prompt = prompt;
+    reqs[id].maxNewTokens = 16;
+    server.enqueue(reqs[id]);
+  }
+  ASSERT_TRUE(server.run());
+
+  const std::uint32_t promptChunks = 16 / cfg.tokensPerBlock();
+  const KvServerStats& s = server.stats();
+  EXPECT_EQ(s.prefixChunkHits, promptChunks);
+  EXPECT_EQ(s.blocksShared,
+            std::uint64_t{promptChunks} * cfg.numLayers);
+  EXPECT_GT(s.sharedReads, 0u);  // shared chunks took the asyncRead path
+  EXPECT_GT(ctrl->shareTable().stats().hits, 0u);
+  EXPECT_EQ(ctrl->shareTable().size(), 0u);  // all entries released
+  for (const KvRequestStats& st : server.retired()) {
+    EXPECT_EQ(st.generated, referenceDecode(cfg, reqs[st.id]).generated);
+  }
+  // Identical prompts decode identical streams, so both sequences' shared
+  // reads stay in lockstep; the pool must drain completely either way.
+  EXPECT_EQ(server.pool().freeBlocks(), server.pool().capacity());
+}
+
+// EOS fires with next-step speculative prefetches still inside their
+// cancellation window: cancel must release the claimed lines and retire
+// the tokens, leaving no BUSY line, no live op slot, no pinned staging
+// page, and the block pool back at its initial free count.
+TEST_F(KvFixture, CancelOnEosLeaksNothing) {
+  // Cache far smaller than the per-step working set, so by the time the
+  // end-of-step prefetch fires the layer-0 pages have been evicted and the
+  // prefetch genuinely claims (and must release) a line.
+  build(/*cacheLines=*/8);
+  KvConfig cfg;
+  cfg.maxBatch = 1;
+  cfg.poolBlocks = 256;
+  cfg.speculativeDelayNs = 50'000;  // hold the window open across sampling
+  KvServer server(*host, *ctrl, cfg);
+
+  Rng rng(55);
+  KvRequest req;
+  req.id = 0;
+  req.prompt = makePrompt(rng, 24, cfg.vocab);  // 6 chunks > 8-line cache
+  req.maxNewTokens = 8;
+  req.eosAfter = 1;  // terminate right after the first sampled token
+  server.enqueue(req);
+  ASSERT_TRUE(server.run());
+
+  const KvServerStats& s = server.stats();
+  EXPECT_EQ(s.requestsRetired, 1u);
+  EXPECT_EQ(s.tokensGenerated, 1u);
+  EXPECT_GT(s.speculativeIssued, 0u);
+  EXPECT_GT(s.speculativeCancelled, 0u);
+  EXPECT_GT(ctrl->stats().prefetchCancelled, 0u);
+
+  EXPECT_EQ(ctrl->cache().busyLines(), 0u);
+  EXPECT_EQ(ctrl->cache().busyLinesSlow(), 0u);
+  EXPECT_EQ(ctrl->tokens().liveOps(), 0u);
+  EXPECT_EQ(ctrl->shareTable().size(), 0u);
+  EXPECT_EQ(host->staging().available(), stagingPages);
+  EXPECT_EQ(host->pendingTransactions(), 0u);
+  EXPECT_EQ(server.pool().freeBlocks(), server.pool().capacity());
+
+  EXPECT_EQ(server.retired()[0].generated,
+            referenceDecode(cfg, req).generated);
+}
+
+// The app-level mirror of bench/fault_storm's gate: the full serving loop
+// under 1% transient faults (plus a smaller share of swallowed
+// completions) with the bounded retry tier on must reach 100% completion
+// with byte-exact token streams, abort nothing, and rerun
+// deterministically.
+TEST_F(KvFixture, FaultOverlapCompletesDeterministically) {
+  struct RunOut {
+    std::uint64_t checksum = 0;
+    std::uint64_t retries = 0;
+    SimTime endNs = 0;
+  };
+  auto runOnce = [this](RunOut* out) {
+    nvme::FaultPlan fault;
+    fault.enabled = true;
+    fault.seed = 0xfa11;
+    fault.readErrorRate = 0.01;
+    fault.writeErrorRate = 0.01;
+    fault.dropRate = 0.001;
+    build(/*cacheLines=*/48, /*capacityLbas=*/8192, &fault);
+
+    KvConfig cfg;
+    cfg.maxBatch = 4;
+    cfg.poolBlocks = 2048;
+    KvServer server(*host, *ctrl, cfg);
+    Rng rng(77);
+    const auto prefix = makePrompt(rng, 8, cfg.vocab);
+    std::vector<KvRequest> reqs(6);
+    for (std::uint64_t id = 0; id < reqs.size(); ++id) {
+      reqs[id].id = id;
+      reqs[id].prompt = prefix;
+      for (std::uint32_t i = 0; i < 4 + 2 * id; ++i) {
+        reqs[id].prompt.push_back(
+            1 + static_cast<std::uint32_t>(rng.nextBelow(cfg.vocab - 1)));
+      }
+      reqs[id].maxNewTokens = 12;
+      server.enqueue(reqs[id]);
+    }
+    ASSERT_TRUE(server.run());
+
+    EXPECT_EQ(server.stats().requestsRetired, reqs.size());
+    EXPECT_EQ(host->ioHealth().aborted, 0u);
+    for (const KvRequestStats& st : server.retired()) {
+      EXPECT_EQ(st.generated, referenceDecode(cfg, reqs[st.id]).generated)
+          << "request " << st.id << " diverged under faults";
+    }
+    EXPECT_EQ(ctrl->cache().busyLines(), 0u);
+    EXPECT_EQ(ctrl->tokens().liveOps(), 0u);
+    EXPECT_EQ(server.pool().freeBlocks(), server.pool().capacity());
+    out->checksum = server.stats().attnChecksum;
+    out->retries = host->ioHealth().retries;
+    out->endNs = host->engine().now();
+    host->stopAgile();
+    host.reset();
+    ctrl.reset();
+  };
+
+  RunOut a, b;
+  runOnce(&a);
+  runOnce(&b);
+  EXPECT_GT(a.retries, 0u);  // faults actually exercised the retry tier
+  EXPECT_EQ(a.checksum, b.checksum);
+  EXPECT_EQ(a.retries, b.retries);
+  EXPECT_EQ(a.endNs, b.endNs);
+}
+
+}  // namespace
+}  // namespace agile::apps::kv

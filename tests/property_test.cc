@@ -15,6 +15,7 @@
 #include <map>
 #include <tuple>
 
+#include "apps/kvcache/kvcache.h"
 #include "bam/bam_ctrl.h"
 #include "core/ctrl.h"
 
@@ -167,7 +168,9 @@ INSTANTIATE_TEST_SUITE_P(Geometries, WriteDurabilityTest,
                          geomName);
 
 // P4: random media faults must surface as errors, never hang, and leave the
-// system reusable.
+// system reusable. Faults come from the seeded nvme/fault injector with the
+// retry tier left disabled (HostConfig::retry.maxAttempts == 0), so every
+// injected error must reach the caller as a failed waitBuf().
 TEST(FaultInjectionTest, RandomFaultsAreContained) {
   HostConfig cfg;
   cfg.queuePairsPerSsd = 4;
@@ -175,8 +178,9 @@ TEST(FaultInjectionTest, RandomFaultsAreContained) {
   AgileHost host(cfg);
   nvme::SsdConfig ssd;
   ssd.capacityLbas = 4096;
-  ssd.faultProbability = 0.2;
-  ssd.faultSeed = 99;
+  ssd.fault.enabled = true;
+  ssd.fault.seed = 99;
+  ssd.fault.readErrorRate = 0.2;
   host.addNvmeDev(ssd);
   host.initNvme();
   DefaultCtrl ctrl(host, CtrlConfig{.cacheLines = 64});
@@ -192,12 +196,20 @@ TEST(FaultInjectionTest, RandomFaultsAreContained) {
         AgileBuf buf(mem + static_cast<std::uint64_t>(tid) * nvme::kLbaBytes);
         AgileBufPtr ptr(buf);
         for (int i = 0; i < 4; ++i) {
-          // Distinct pages per request so the share table/cache don't mask
-          // the fault path.
-          co_await ctrl.asyncRead(ctx, 0, tid * 7 + i * 131 + 1, ptr, chain);
+          // Mostly-distinct pages per request so the share table/cache don't
+          // mask the fault path (residual collisions exercise both releases).
+          const std::uint64_t lba = tid * 7 + i * 131 + 1;
+          co_await ctrl.asyncRead(ctx, 0, lba, ptr, chain);
           const bool good = co_await ctrl.waitBuf(ctx, ptr);
           (good ? successes : failures)++;
-          co_await ctrl.releaseBuf(ctx, ptr, chain);
+          // A Share-Table redirect detaches via releaseBuf(); a read that
+          // kept its own buffer registered this thread as the page's owner
+          // and must release with releaseOwned(), or the entry leaks.
+          if (ptr.isShared()) {
+            co_await ctrl.releaseBuf(ctx, ptr, chain);
+          } else {
+            co_await ctrl.releaseOwned(ctx, 0, lba, ptr, chain);
+          }
           ptr.bindOwn(buf);
         }
       });
@@ -207,8 +219,111 @@ TEST(FaultInjectionTest, RandomFaultsAreContained) {
   EXPECT_EQ(failures + successes, 512u);
   ASSERT_TRUE(host.drainIo());
   EXPECT_EQ(host.pendingTransactions(), 0u);
+  EXPECT_EQ(ctrl.shareTable().size(), 0u);  // P2: no leaked owner entries
+  EXPECT_EQ(ctrl.cache().busyLines(), 0u);
   host.stopAgile();
 }
+
+struct KvGeometry {
+  std::uint32_t cacheLines;
+  std::uint32_t cacheShards;  // 0 = auto (fully associative at these sizes)
+  std::uint64_t seed;
+};
+
+std::string kvGeomName(const ::testing::TestParamInfo<KvGeometry>& info) {
+  const auto& g = info.param;
+  return "c" + std::to_string(g.cacheLines) + "_sh" +
+         std::to_string(g.cacheShards) + "_s" + std::to_string(g.seed);
+}
+
+class KvServerPropertyTest : public ::testing::TestWithParam<KvGeometry> {};
+
+// P1+P2+P3 at the application level: a seeded mix of admits (some attaching
+// to a shared-prefix pool, some allocating fresh blocks), random decode
+// budgets, and random early terminations driven through the full KvServer
+// loop. Whatever the cache size, shard count, or interleaving, every token
+// stream must match the DRAM reference and the drained system must hold no
+// BUSY line, no live token op, no share-table entry, no pinned staging
+// page, and no leaked pool block.
+TEST_P(KvServerPropertyTest, RandomServingPreservesInvariants) {
+  const KvGeometry g = GetParam();
+  HostConfig cfg;
+  cfg.queuePairsPerSsd = 4;
+  cfg.queueDepth = 64;
+  cfg.stagingPages = 64;
+  AgileHost host(cfg);
+  nvme::SsdConfig ssd;
+  ssd.capacityLbas = 8192;
+  host.addNvmeDev(ssd);
+  host.initNvme();
+  DefaultCtrl ctrl(host, CtrlConfig{.cacheLines = g.cacheLines,
+                                    .cacheShards = g.cacheShards});
+  host.startAgile();
+
+  apps::kv::KvConfig kcfg;
+  kcfg.maxBatch = 3;
+  kcfg.poolBlocks = 2048;
+  apps::kv::KvServer server(host, ctrl, kcfg);
+
+  Rng rng(g.seed);
+  std::vector<std::vector<std::uint32_t>> prefixPool(3);
+  for (auto& p : prefixPool) {
+    p.resize(4 + rng.nextBelow(13));
+    for (auto& t : p) {
+      t = 1 + static_cast<std::uint32_t>(rng.nextBelow(kcfg.vocab - 1));
+    }
+  }
+  constexpr std::uint32_t kNumReqs = 9;
+  std::vector<apps::kv::KvRequest> reqs(kNumReqs);
+  for (std::uint64_t id = 0; id < kNumReqs; ++id) {
+    apps::kv::KvRequest& r = reqs[id];
+    r.id = id;
+    // ~60% of requests start from a pooled prefix, so admits race between
+    // attaching to live blocks and allocating fresh ones.
+    if (rng.nextBool(0.6)) {
+      r.prompt = prefixPool[rng.nextBelow(prefixPool.size())];
+    }
+    const std::size_t targetLen = 4 + rng.nextBelow(29);
+    while (r.prompt.size() < targetLen) {
+      r.prompt.push_back(
+          1 + static_cast<std::uint32_t>(rng.nextBelow(kcfg.vocab - 1)));
+    }
+    r.maxNewTokens = 1 + static_cast<std::uint32_t>(rng.nextBelow(20));
+    // ~30% terminate early, cancelling speculative prefetches mid-window.
+    if (rng.nextBool(0.3)) {
+      r.eosAfter = 1 + static_cast<std::uint32_t>(rng.nextBelow(4));
+    }
+    server.enqueue(r);
+  }
+  ASSERT_TRUE(server.run()) << "kv serving loop hung";
+
+  // P1: every stream byte-exact against the reference model.
+  ASSERT_EQ(server.retired().size(), kNumReqs);
+  for (const apps::kv::KvRequestStats& st : server.retired()) {
+    EXPECT_EQ(st.generated,
+              apps::kv::referenceDecode(kcfg, reqs[st.id]).generated)
+        << "request " << st.id;
+  }
+
+  // P2: drain and audit every resource class.
+  EXPECT_EQ(server.stats().requestsRetired, kNumReqs);
+  EXPECT_EQ(ctrl.cache().busyLines(), 0u);
+  EXPECT_EQ(ctrl.cache().busyLinesSlow(), 0u);
+  EXPECT_EQ(ctrl.tokens().liveOps(), 0u);
+  EXPECT_EQ(ctrl.shareTable().size(), 0u);
+  EXPECT_EQ(host.staging().available(), 64u);
+  EXPECT_EQ(host.pendingTransactions(), 0u);
+  EXPECT_EQ(server.pool().freeBlocks(), server.pool().capacity());
+  host.stopAgile();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, KvServerPropertyTest,
+    ::testing::Values(KvGeometry{8, 1, 101},    // brutal pressure, one shard
+                      KvGeometry{16, 1, 404},   // small, single shard
+                      KvGeometry{64, 4, 202},   // medium, sharded
+                      KvGeometry{512, 4, 303}), // roomy, sharded
+    kvGeomName);
 
 // P3 at the NVMe level: tiny queues + many threads + mixed read/write must
 // complete (the service releases SQEs; §3.2's deadlock elimination under

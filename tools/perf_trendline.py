@@ -14,7 +14,8 @@ regressions are visible in the job summary before they compound.
 
 Covered payloads: BENCH_engine.json (engine_stress), BENCH_gather.json
 (async_gather), BENCH_cache.json (cache_probe), BENCH_fault.json
-(fault_storm). Any workload entry with a
+(fault_storm), BENCH_kvcache.json (fig_kvcache, where events are generated
+tokens). Any workload entry with a
 new_events_per_sec field lands in the table; the geomean column falls back
 to a bench's headline speedup when no geomean is reported.
 
@@ -58,6 +59,11 @@ def summarize(payload):
         # fault_storm headline: goodput at the gated fault rate relative to
         # the fault-free run.
         geomean = payload.get("goodput_retention")
+    if geomean is None:
+        # fig_kvcache headline: gated-point decode throughput in ktok/s (a
+        # rate, not a ratio, but it keeps the trendline column populated).
+        tps = payload.get("tokens_per_sec_gated")
+        geomean = tps / 1e3 if tps is not None else None
     return {
         "workloads": flat,
         "geomean_speedup": geomean,
