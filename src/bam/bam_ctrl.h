@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <cstring>
 
+#include "common/annotations.h"
 #include "common/check.h"
 #include "core/cache.h"
 #include "core/cost_model.h"
@@ -120,6 +121,7 @@ class BamCtrl {
  private:
   // Probe-or-fetch until the line for (dev, lba) is READY/MODIFIED; the
   // calling thread performs all completion processing itself.
+  AGILE_NODISCARD("the returned line index is pinned for this access")
   gpu::GpuTask<std::uint32_t> acquireReadyLine(gpu::KernelCtx& ctx,
                                                std::uint32_t dev,
                                                std::uint64_t lba,

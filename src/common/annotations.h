@@ -1,0 +1,68 @@
+// Compiler-enforced annotations for the AGILE resource protocols.
+//
+// agile-lint (tools/lint/agile_lint.py) checks protocol discipline at the
+// source level; this header makes the compiler enforce the same contracts
+// where an attribute exists for them:
+//
+//   AGILE_NODISCARD        — submit*/claim*/acquire*/alloc results are the
+//                            only handle to the resource; dropping one at
+//                            statement level leaks the op. Mirrors the
+//                            lint's `dropped-token` check, but fires on
+//                            every build of every caller.
+//   AGILE_LIFETIME_BOUND   — a returned pointer/reference is tied to the
+//                            lifetime of the annotated parameter (clang
+//                            [[lifetimebound]]; no-op elsewhere).
+//   Thread-safety set      — clang -Wthread-safety capability annotations
+//                            (AGILE_CAPABILITY, AGILE_GUARDED_BY, ...).
+//                            Only sim/sweep.cc's parallelFor pool is truly
+//                            multi-threaded today; the simulator core is
+//                            single-threaded by design, and coroutine
+//                            suspension is invisible to the analysis, so
+//                            these are applied ONLY to host-threaded state
+//                            (disjoint SweepStats slots, the work counter),
+//                            never across co_await points.
+//
+// Everything degrades to nothing on compilers without the attribute: gcc
+// builds see plain declarations, the clang CI lint job sees the enforced
+// ones (-Wthread-safety -Werror=thread-safety).
+#pragma once
+
+#if defined(__has_cpp_attribute)
+#if __has_cpp_attribute(nodiscard) >= 201907L
+#define AGILE_NODISCARD(msg) [[nodiscard(msg)]]
+#elif __has_cpp_attribute(nodiscard)
+#define AGILE_NODISCARD(msg) [[nodiscard]]
+#else
+#define AGILE_NODISCARD(msg)
+#endif
+#else
+#define AGILE_NODISCARD(msg)
+#endif
+
+#if defined(__clang__) && defined(__has_cpp_attribute)
+#if __has_cpp_attribute(clang::lifetimebound)
+#define AGILE_LIFETIME_BOUND [[clang::lifetimebound]]
+#endif
+#endif
+#ifndef AGILE_LIFETIME_BOUND
+#define AGILE_LIFETIME_BOUND
+#endif
+
+// Clang thread-safety analysis. Attribute spellings per
+// https://clang.llvm.org/docs/ThreadSafetyAnalysis.html; every macro
+// expands to nothing when the attribute is unavailable (gcc, old clang).
+#if defined(__clang__) && defined(__has_attribute)
+#define AGILE_TSA(x) __attribute__((x))
+#else
+#define AGILE_TSA(x)
+#endif
+
+#define AGILE_CAPABILITY(name) AGILE_TSA(capability(name))
+#define AGILE_GUARDED_BY(x) AGILE_TSA(guarded_by(x))
+#define AGILE_PT_GUARDED_BY(x) AGILE_TSA(pt_guarded_by(x))
+#define AGILE_REQUIRES(...) AGILE_TSA(requires_capability(__VA_ARGS__))
+#define AGILE_ACQUIRE(...) AGILE_TSA(acquire_capability(__VA_ARGS__))
+#define AGILE_RELEASE(...) AGILE_TSA(release_capability(__VA_ARGS__))
+#define AGILE_EXCLUDES(...) AGILE_TSA(locks_excluded(__VA_ARGS__))
+#define AGILE_NO_TSA AGILE_TSA(no_thread_safety_analysis)
+#define AGILE_SCOPED_CAPABILITY AGILE_TSA(scoped_lockable)

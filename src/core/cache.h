@@ -37,6 +37,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/check.h"
 #include "common/rng.h"
 #include "common/types.h"
@@ -479,6 +480,9 @@ class SoftwareCache {
   // the critical section the paper guards with the cache lock, charged per
   // shard via chargeSharded). The caller loops on kStall / kNeedWriteback
   // outcomes with awaits in between.
+  AGILE_NODISCARD(
+      "a kClaimed result hands the caller a BUSY line it must fill and "
+      "release (or releaseClaim); dropping it wedges the line")
   ProbeResult probeOrClaim(gpu::KernelCtx& ctx, std::uint64_t tag) {
     const std::uint32_t si = shardOfTag(tag);
     Shard& sh = shards_[si];
@@ -553,6 +557,7 @@ class SoftwareCache {
 
   // Probe without claiming (used by asyncRead, which falls back to a direct
   // SSD->buffer transfer on miss instead of occupying a line).
+  AGILE_NODISCARD("a kHit result pins the line for the in-flight read")
   ProbeResult probeOnly(gpu::KernelCtx& ctx, std::uint64_t tag) {
     const std::uint32_t si = shardOfTag(tag);
     Shard& sh = shards_[si];
@@ -646,8 +651,10 @@ class SoftwareCache {
 
  private:
   // One set of the cache: everything a probe touches lives here, so probes
-  // to different shards contend on nothing.
-  struct Shard {
+  // to different shards contend on nothing. Tagged as a TSA capability:
+  // mutating shard state is only legal from the probe/claim/release verbs
+  // (simulator-side single-threaded; never touched by host thread pools).
+  struct AGILE_CAPABILITY("cache-shard") Shard {
     Shard(std::uint32_t base_, std::uint32_t count_)
         : base(base_), count(count_), policy(count_) {
       freshLines.reserve(count_);

@@ -373,6 +373,7 @@ class AgileCtrl {
   // ------------------------------------- unified async surface (tokens) ----
 
   // async_issue(SSD -> user buffer) returning a pollable / awaitable handle.
+  AGILE_NODISCARD("the token is the only poll/wait/cancel handle")
   gpu::GpuTask<IoToken> submitRead(gpu::KernelCtx& ctx, std::uint32_t dev,
                                    std::uint64_t lba, AgileBufPtr& buf,
                                    AgileLockChain& chain) {
@@ -388,6 +389,7 @@ class AgileCtrl {
   }
 
   // async_issue(user buffer -> SSD) returning a handle.
+  AGILE_NODISCARD("the token is the only poll/wait/cancel handle")
   gpu::GpuTask<IoToken> submitWrite(gpu::KernelCtx& ctx, std::uint32_t dev,
                                     std::uint64_t lba, AgileBufPtr& buf,
                                     AgileLockChain& chain) {
@@ -406,6 +408,7 @@ class AgileCtrl {
   // arrives meanwhile (readers parked on the BUSY line, attached buffers)
   // rides the eventual fill exactly like a normal prefetch, and makes the
   // op non-cancellable.
+  AGILE_NODISCARD("the token is the only poll/wait/cancel handle")
   gpu::GpuTask<IoToken> submitPrefetch(gpu::KernelCtx& ctx, std::uint32_t dev,
                                        std::uint64_t lba,
                                        AgileLockChain& chain,
@@ -462,6 +465,7 @@ class AgileCtrl {
   // batches are identical elect a leader for the prefetch portion; demand
   // entries (reads/writes) always run, their duplicates are absorbed by the
   // Share Table and the cache's BUSY state.
+  AGILE_NODISCARD("the token is the only poll/wait/cancel handle")
   gpu::GpuTask<IoToken> submitBatch(gpu::KernelCtx& ctx, IoBatch& batch,
                                     AgileLockChain& chain) {
     ctx.charge(cost::kTokenAlloc);
@@ -756,6 +760,7 @@ class AgileCtrl {
   // The one probe/claim retry state machine shared by every prefetch-flavor
   // path (fillCacheLine, submitPrefetch, batch fills): handles dirty-victim
   // writebacks and all-BUSY stalls with awaits between attempts.
+  AGILE_NODISCARD("kClaimed hands back a BUSY line the caller must settle")
   gpu::GpuTask<ClaimResult> claimLine(gpu::KernelCtx& ctx, std::uint64_t tag,
                                       AgileLockChain& chain,
                                       std::uint32_t budget,
@@ -824,7 +829,10 @@ class AgileCtrl {
     // concurrent readers of the same page share this buffer.
     ++stats_.directReads;
     if constexpr (Share::kEnabled) {
-      share_.registerOwner(ctx, tag, *buf.own());
+      // Registration is the side effect; the release path recovers the
+      // owner's entry by tag (ShareTable::find), so the handle is
+      // deliberately not kept here.
+      static_cast<void>(share_.registerOwner(ctx, tag, *buf.own()));
     }
     if (buf.own()->barrier().ready()) buf.own()->barrier().reset();
     buf.own()->barrier().addPending();
@@ -888,6 +896,7 @@ class AgileCtrl {
   // Batch-prefetch claim: like fillCacheLine, but the fill command is
   // collected for the batched doorbell instead of issued immediately.
   // Returns true when a line was claimed and *outCmd holds its fill.
+  AGILE_NODISCARD("true means a BUSY line was claimed for *outCmd")
   gpu::GpuTask<bool> claimForBatchFill(gpu::KernelCtx& ctx, std::uint32_t dev,
                                        std::uint64_t lba,
                                        AgileLockChain& chain,

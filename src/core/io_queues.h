@@ -13,6 +13,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/check.h"
 #include "core/buf.h"
 #include "core/cache.h"
@@ -136,6 +137,9 @@ struct AgileSq {
   // completed (precisely the §2.3.1 full-queue hazard), and one slot always
   // stays empty so a full ring is distinguishable from an empty one
   // (tail == head means empty on the wire).
+  AGILE_NODISCARD(
+      "the slot is HELD on success; it must be issued or freed, and "
+      "kNoSlot must reroute the caller")
   std::uint32_t tryAlloc() {
     if (live == depth - 1) return kNoSlot;
     const std::uint32_t slot = allocCursor;
@@ -227,6 +231,7 @@ class StagingPool {
     }
   }
 
+  AGILE_NODISCARD("a non-null page is checked out until put() returns it")
   std::byte* tryGet() {
     if (free_.empty()) return nullptr;
     auto* p = free_.back();
@@ -263,7 +268,7 @@ class StagingPool {
 // notified exactly once — by whichever attempt finally settles.
 // Only when the attempt budget is exhausted is the transaction errored
 // with nvme::Status::kCommandAborted.
-class RetryController {
+class AGILE_CAPABILITY("retry-controller") RetryController {
  public:
   RetryController(sim::Engine& engine, QueuePairSet& qps, RetryPolicy policy)
       : engine_(&engine), qps_(&qps), policy_(policy) {}

@@ -24,6 +24,7 @@
 #include <deque>
 #include <limits>
 
+#include "common/annotations.h"
 #include "common/check.h"
 #include "core/buf.h"
 #include "nvme/defs.h"
@@ -52,7 +53,12 @@ enum class IoStatus : std::uint8_t {
 /// Generation-checked handle to an in-flight asynchronous op. Copyable and
 /// trivially destructible; a default-constructed token is invalid. All
 /// operations on a stale token are safe no-ops (poll -> kRetired).
-class IoToken {
+// Tagged as a TSA capability: a live token authorizes exactly one settle
+// path (poll-to-done / wait / cancel / retire); IoOpPool generation checks
+// catch stale reuse at runtime, agile-lint's dropped-token check catches
+// discards at review time, and [[nodiscard]] on the producers catches them
+// at compile time.
+class AGILE_CAPABILITY("io-token") IoToken {
  public:
   IoToken() = default;
 
@@ -202,6 +208,8 @@ struct IoOpPoolStats {
 /// pool grows on demand and never invalidates op addresses.
 class IoOpPool {
  public:
+  AGILE_NODISCARD(
+      "the token is the only handle that can poll/wait/cancel this op")
   IoToken alloc(IoOpKind kind) {
     std::uint32_t slot;
     if (freeHead_ != kNilSlot) {

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <unordered_map>
 
+#include "common/annotations.h"
 #include "common/check.h"
 #include "core/buf.h"
 #include "core/cost_model.h"
@@ -33,7 +34,10 @@ enum class ShareState : std::uint8_t {
   kModified,   // written; must be propagated to the software cache
 };
 
-struct ShareEntry {
+// Tagged as a TSA capability: holding an attached entry is what authorizes
+// reading through the owner's buffer, and releaseOwned/releaseBuf are the
+// release edges agile-lint's share-owner-reuse check pairs up.
+struct AGILE_CAPABILITY("share-entry") ShareEntry {
   std::uint64_t tag = 0;
   AgileBuf* buf = nullptr;
   std::uint32_t refCount = 0;
@@ -88,7 +92,9 @@ class ShareTable {
   std::size_t size() const { return map_.size(); }
 
   // Probe for an existing owner of `tag`; on hit, attach (refCount++).
-  ShareEntry* attach(gpu::KernelCtx& ctx, std::uint64_t tag) {
+  AGILE_NODISCARD("the entry is the attach handle; it must be released")
+  ShareEntry* attach(gpu::KernelCtx& ctx,
+                     std::uint64_t tag) AGILE_LIFETIME_BOUND {
     if (!kEnabled || !policy_.shouldTrack(tag)) return nullptr;
     ctx.charge(cost::kShareProbe);
     auto it = map_.find(tag);
@@ -103,8 +109,9 @@ class ShareTable {
 
   // Register `buf` as the owner of `tag` (first reader). Returns the entry,
   // or nullptr if the policy declines tracking.
+  AGILE_NODISCARD("the entry is the owner handle; it must be released")
   ShareEntry* registerOwner(gpu::KernelCtx& ctx, std::uint64_t tag,
-                            AgileBuf& buf) {
+                            AgileBuf& buf) AGILE_LIFETIME_BOUND {
     if (!kEnabled || !policy_.shouldTrack(tag)) return nullptr;
     ctx.charge(cost::kShareInsert);
     auto [it, inserted] = map_.try_emplace(tag);
@@ -123,6 +130,9 @@ class ShareTable {
   // Detach one holder. Returns true (with *needPropagate set) when this was
   // the last reference: the entry is removed and, if Modified, the caller
   // must propagate the buffer to the software cache before reusing it.
+  AGILE_NODISCARD(
+      "true means last reference: the caller owns removal and, when "
+      "*needPropagate, MUST write the buffer back before reusing it")
   bool release(gpu::KernelCtx& ctx, ShareEntry& entry, bool* needPropagate) {
     ctx.charge(cost::kShareRelease);
     AGILE_CHECK(entry.refCount > 0);
@@ -139,7 +149,7 @@ class ShareTable {
   // tracked buffer for future readers; current holders keep their snapshot.
   void invalidate(std::uint64_t tag) { map_.erase(tag); }
 
-  ShareEntry* find(std::uint64_t tag) {
+  ShareEntry* find(std::uint64_t tag) AGILE_LIFETIME_BOUND {
     auto it = map_.find(tag);
     return it == map_.end() ? nullptr : &it->second;
   }

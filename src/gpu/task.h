@@ -16,12 +16,19 @@
 #include <exception>
 #include <utility>
 
+#include "common/annotations.h"
 #include "common/check.h"
 
 namespace agile::gpu {
 
+// nodiscard at class level: a GpuTask discarded at statement level destroys
+// the suspended coroutine before it ever runs — the call silently does
+// nothing. Every producer (submit*, claim*, acquire*, kernels) is covered
+// at once, at every call site.
 template <class T>
-class GpuTask;
+class AGILE_NODISCARD(
+    "a GpuTask must be co_awaited or driven via handle(); discarding it "
+    "destroys the coroutine before it runs") GpuTask;
 
 namespace detail {
 
@@ -104,7 +111,9 @@ class GpuTask {
 };
 
 template <>
-class GpuTask<void> {
+class AGILE_NODISCARD(
+    "a GpuTask must be co_awaited or driven via handle(); discarding it "
+    "destroys the coroutine before it runs") GpuTask<void> {
  public:
   struct promise_type : detail::PromiseBase {
     GpuTask get_return_object() {

@@ -18,6 +18,7 @@
 namespace agile::nvme {
 
 // Fills `out[0..kLbaBytes)` with the logical content of page `lba`.
+// agile-lint: allow(std-function-hot): cold path — invoked once per first-touch page materialization, and callers install arbitrarily large closures
 using ContentProvider = std::function<void(std::uint64_t lba, std::byte* out)>;
 
 class FlashStore {

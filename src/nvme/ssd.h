@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "common/types.h"
@@ -143,6 +144,7 @@ class SsdController {
     bool aborted = false;  // admin abort landed; pending events are no-ops
   };
 
+  AGILE_NODISCARD("the slot index must be released via releaseSlot")
   std::uint32_t acquireSlot(const Sqe& sqe, std::uint32_t qid);
   void releaseSlot(std::uint32_t slot);
   void fetchFrom(std::uint32_t qid);

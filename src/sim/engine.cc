@@ -237,7 +237,7 @@ bool Engine::step() {
   return true;
 }
 
-bool Engine::runUntil(const std::function<bool()>& done) {
+bool Engine::runUntil(const SmallFn<bool()>& done) {
   while (!done()) {
     if (!step()) return done();
   }

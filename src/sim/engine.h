@@ -37,7 +37,6 @@
 #include <bit>
 #include <cstddef>
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <new>
 #include <type_traits>
@@ -45,6 +44,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/small_fn.h"
 #include "common/stats.h"
 #include "common/types.h"
 
@@ -162,7 +162,7 @@ class Engine {
 
   /// Run until the predicate returns true or no events remain.
   /// Returns true if the predicate was satisfied.
-  bool runUntil(const std::function<bool()>& done);
+  bool runUntil(const SmallFn<bool()>& done);
 
   /// Run until every queue (ready, wheel, overflow) drains.
   void runToCompletion();

@@ -10,7 +10,7 @@
 
 namespace agile::sim {
 
-void parallelFor(std::size_t n, const std::function<void(std::size_t)>& fn,
+void parallelFor(std::size_t n, const SmallFn<void(std::size_t)>& fn,
                  unsigned threads) {
   if (n == 0) return;
   unsigned hw = threads != 0 ? threads : std::thread::hardware_concurrency();

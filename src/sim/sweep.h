@@ -13,11 +13,12 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <functional>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
+
+#include "common/small_fn.h"
 
 namespace agile::sim {
 
@@ -26,7 +27,7 @@ class Engine;
 // Runs fn(i) for i in [0, n) across up to `threads` host threads
 // (0 = hardware concurrency). Results must be written into caller-provided
 // per-index slots; fn must not touch shared mutable state.
-void parallelFor(std::size_t n, const std::function<void(std::size_t)>& fn,
+void parallelFor(std::size_t n, const SmallFn<void(std::size_t)>& fn,
                  unsigned threads = 0);
 
 // Per-point event-slab arena sizing across repeated sweeps. A sweep's first

@@ -279,6 +279,7 @@ TEST_F(TokenFixture, ReusedBufPtrDropsStaleShareRedirect) {
           // Thread 1 share-hit onto thread 0's buffer; release and reuse
           // the same handle for a *miss* read of another page.
           EXPECT_TRUE(ptr.isShared());
+          // agile-lint: allow(share-owner-reuse): peer-side release (isShared() asserted above); the owner-reuse hazard is owner-side only
           co_await ctrl->releaseBuf(ctx, ptr, chain);
           IoToken t = co_await ctrl->submitRead(ctx, 0, 56, ptr, chain);
           EXPECT_TRUE(co_await ctrl->wait(ctx, t));

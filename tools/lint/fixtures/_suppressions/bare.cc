@@ -1,0 +1,3 @@
+// Fixture: a suppression without a one-line justification is a finding.
+// agile-lint: allow-file(std-function-hot)
+int y = 2;

@@ -1,0 +1,8 @@
+// Fixture: a justified suppression silences the finding (it lands in the
+// suppressed list, not the active list).
+#include <ctime>
+
+long wallClockForLogsOnly() {
+  // agile-lint: allow(wall-clock): log timestamping only, never feeds sim state
+  return (long)time(nullptr);
+}

@@ -1,0 +1,4 @@
+// Fixture: suppressing a check that does not exist is itself a finding —
+// a typo must not silently disable enforcement.
+// agile-lint: allow(wall-clcok): typo'd check name, must be flagged
+int x = 1;

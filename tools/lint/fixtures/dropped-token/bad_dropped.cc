@@ -1,0 +1,14 @@
+// Fixture: statement-position discards of submit*/claim*/acquire* results.
+// The returned token/handle is the only way to poll, wait, cancel or
+// release the resource — dropping it leaks the op.
+struct Ctrl {
+  int submitRead(unsigned long lba, void* buf);
+  int claimBuf(unsigned long tag);
+  int acquireSlot();
+};
+
+void fireAndForget(Ctrl* c, void* buf) {
+  c->submitRead(0x1000, buf);
+  c->claimBuf(42);
+  c->acquireSlot();
+}

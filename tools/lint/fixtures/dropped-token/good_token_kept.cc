@@ -1,0 +1,15 @@
+// Fixture: every submit/claim/acquire result is stored and settled.
+struct Token { bool done(); };
+struct Ctrl {
+  Token submitRead(unsigned long lba, void* buf);
+  int claimBuf(unsigned long tag);
+  void releaseClaim(int line);
+  void wait(Token t);
+};
+
+void settled(Ctrl* c, void* buf) {
+  Token t = c->submitRead(0x1000, buf);
+  int line = c->claimBuf(42);
+  c->wait(t);
+  c->releaseClaim(line);
+}

@@ -1,0 +1,7 @@
+// Fixture: the degenerate include cycle — a header that (transitively)
+// includes itself. The tree check resolves quoted includes against src/
+// and the including file's directory and DFSes for back-edges.
+#pragma once
+#include "bad_self.h"
+
+struct Cyclic {};

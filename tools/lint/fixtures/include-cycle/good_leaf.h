@@ -1,0 +1,7 @@
+// Fixture: a leaf header — only system includes, no quoted-include edges.
+#pragma once
+#include <cstdint>
+
+struct Leaf {
+  uint64_t id;
+};

@@ -1,0 +1,11 @@
+// Fixture: ordered containers keyed by pointer order by allocation
+// address, which differs run to run (ASLR, allocator state).
+#include <map>
+#include <set>
+
+struct Op {};
+
+struct Tracker {
+  std::set<Op*> live;
+  std::map<const Op*, int> priority;
+};

@@ -1,0 +1,9 @@
+// Fixture: keying by a stable integer id keeps ordering reproducible.
+#include <cstdint>
+#include <map>
+#include <set>
+
+struct Tracker {
+  std::set<uint32_t> live;             // slot ids, stable across runs
+  std::map<uint64_t, int> priority;    // keyed by LBA
+};

@@ -1,0 +1,5 @@
+// Fixture: header without #pragma once (and without even a guard macro —
+// either way, the repo convention is #pragma once).
+struct Unguarded {
+  int x;
+};

@@ -1,0 +1,7 @@
+// Fixture: a long leading comment is fine — the check scans the whole
+// file, not just a prefix (src/sim/engine.h has its pragma at line 34).
+#pragma once
+
+struct Guarded {
+  int x;
+};

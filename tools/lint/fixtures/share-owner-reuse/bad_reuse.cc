@@ -1,0 +1,13 @@
+// Fixture: owner releases its buffer with plain releaseBuf() and then
+// immediately recycles it into a new read, with no releaseOwned() in the
+// scope. Attached peers redirected at this buffer may not have copied out
+// yet — the new DMA overwrites bytes they are still reading.
+struct Ctx {};
+struct Buf {};
+void releaseBuf(Ctx& ctx, Buf* buf, int flags);
+void asyncRead(Ctx& ctx, Buf* buf, unsigned long lba);
+
+void ownerRecycles(Ctx& ctx, Buf* buf) {
+  releaseBuf(ctx, buf, 0);
+  asyncRead(ctx, buf, 0x2000);
+}

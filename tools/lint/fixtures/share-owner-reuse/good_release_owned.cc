@@ -1,0 +1,18 @@
+// Fixture: the owner path goes through releaseOwned(), which drains
+// attached sharers before the buffer may be reused; reuse after that is
+// safe. (Mirrors the post-PR-7 kvcache owner path.)
+struct Ctx {};
+struct Buf {};
+struct Entry {};
+void releaseBuf(Ctx& ctx, Buf* buf, int flags);
+void releaseOwned(Ctx& ctx, Entry* e, Buf* buf);
+void asyncRead(Ctx& ctx, Buf* buf, unsigned long lba);
+
+void ownerDrains(Ctx& ctx, Entry* e, Buf* buf, bool owner) {
+  if (owner) {
+    releaseOwned(ctx, e, buf);
+  } else {
+    releaseBuf(ctx, buf, 0);
+  }
+  asyncRead(ctx, buf, 0x2000);
+}

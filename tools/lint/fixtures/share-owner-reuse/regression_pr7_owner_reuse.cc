@@ -1,0 +1,19 @@
+// Regression fixture: the exact PR-7 Share-Table hazard, reduced.
+//
+// In the kvcache gather path, the block owner finished its copy, released
+// the line with plain releaseBuf(), and looped straight into the next
+// asyncRead() on the same staging buffer. Peers that had attach()ed to the
+// share entry were redirected at the owner's buffer and had not yet copied
+// out, so the refill DMA clobbered the bytes under them. The fix
+// (ShareEntry::drainWaiters) parks releaseOwned() until refCount==1; any
+// owner-side release that skips releaseOwned re-opens the hazard, which is
+// the pattern this check exists to flag.
+struct Ctx {};
+struct Buf {};
+void releaseBuf(Ctx& ctx, Buf* buf, int flags);
+void asyncRead(Ctx& ctx, Buf* buf, unsigned long lba);
+
+void gatherLoopBody(Ctx& ctx, Buf* staging, unsigned long nextLba) {
+  releaseBuf(ctx, staging, 0);
+  asyncRead(ctx, staging, nextLba);
+}

@@ -1,0 +1,7 @@
+// Fixture: std::function on a src/ path — type-erased with heap
+// allocation beyond the SBO, exactly what common/small_fn.h replaces.
+#include <functional>
+
+struct Engine {
+  void runUntil(const std::function<bool()>& stop);
+};

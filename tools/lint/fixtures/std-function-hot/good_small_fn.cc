@@ -1,0 +1,8 @@
+// Fixture: SmallFn (common/small_fn.h) — fixed-capacity SBO callable,
+// no heap, no type-erasure surprises on hot paths.
+template <class Sig, unsigned Cap = 48>
+struct SmallFn {};  // stand-in for agile::SmallFn
+
+struct Engine {
+  void runUntil(const SmallFn<bool()>& stop);
+};

@@ -1,0 +1,16 @@
+// Fixture: a TimerId stored into a member with no cancel() (and no
+// generation check) anywhere in the file — cancel-or-fire discipline is
+// unverifiable, and a stale fire after teardown is the usual outcome.
+struct TimerId { unsigned slot; unsigned gen; };
+struct Engine {
+  TimerId scheduleAfter(unsigned long delay, void (*fn)(void*), void* arg);
+};
+
+struct Watchdog {
+  Engine* eng;
+  TimerId timer;
+
+  void arm() {
+    timer = eng->scheduleAfter(1000, nullptr, this);
+  }
+};

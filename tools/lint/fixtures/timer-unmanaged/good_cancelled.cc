@@ -1,0 +1,19 @@
+// Fixture: the stored TimerId is cancelled on disarm — the file carries
+// the full cancel-or-fire discipline.
+struct TimerId { unsigned slot; unsigned gen; };
+struct Engine {
+  TimerId scheduleAfter(unsigned long delay, void (*fn)(void*), void* arg);
+  bool cancel(TimerId id);
+};
+
+struct Watchdog {
+  Engine* eng;
+  TimerId timer;
+
+  void arm() {
+    timer = eng->scheduleAfter(1000, nullptr, this);
+  }
+  void disarm() {
+    eng->cancel(timer);
+  }
+};

@@ -1,0 +1,15 @@
+// Fixture: range-for over an unordered container feeds hash/address order
+// into whatever consumes the loop body.
+#include <cstdint>
+#include <cstdio>
+#include <unordered_map>
+
+struct Stats {
+  std::unordered_map<uint64_t, uint64_t> hits;
+
+  void dump() const {
+    for (const auto& kv : hits)
+      std::printf("%llu %llu\n",
+                  (unsigned long long)kv.first, (unsigned long long)kv.second);
+  }
+};

@@ -1,0 +1,22 @@
+// Fixture: point lookups into unordered containers are fine (no iteration
+// order escapes); iteration happens over an ordered std::map.
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <unordered_map>
+
+struct Stats {
+  std::unordered_map<uint64_t, uint64_t> hits;
+  std::map<uint64_t, uint64_t> ordered;
+
+  uint64_t lookup(uint64_t k) const {
+    auto it = hits.find(k);
+    return it == hits.end() ? 0 : it->second;
+  }
+
+  void dump() const {
+    for (const auto& kv : ordered)
+      std::printf("%llu %llu\n",
+                  (unsigned long long)kv.first, (unsigned long long)kv.second);
+  }
+};

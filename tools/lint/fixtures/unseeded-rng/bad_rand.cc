@@ -1,0 +1,18 @@
+// Fixture: libc rand(), std::random_device and default-constructed std
+// engines are all nondeterministic across runs/platforms.
+#include <cstdlib>
+#include <random>
+
+int pick(int n) {
+  return rand() % n;
+}
+
+unsigned seedFromDevice() {
+  std::random_device rd;
+  return rd();
+}
+
+unsigned defaultEngine() {
+  std::mt19937 gen;
+  return gen();
+}

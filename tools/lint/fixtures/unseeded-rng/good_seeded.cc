@@ -1,0 +1,15 @@
+// Fixture: explicitly seeded generators replay byte-identically.
+#include <cstdint>
+#include <random>
+
+struct Rng {  // stand-in for agile::Rng (xoshiro256**, explicit seed)
+  explicit Rng(uint64_t seed) : s_(seed) {}
+  uint64_t next() { return s_ = s_ * 6364136223846793005ull + 1442695040888963407ull; }
+  uint64_t s_;
+};
+
+uint64_t pick(uint64_t n) {
+  Rng rng(0x9e3779b97f4a7c15ull);
+  std::mt19937_64 alsoFine(12345);
+  return (rng.next() ^ alsoFine()) % n;
+}

@@ -1,0 +1,8 @@
+// Fixture: wall-clock reads on a measurement path must be flagged.
+#include <chrono>
+
+long elapsedNs() {
+  auto t0 = std::chrono::steady_clock::now();
+  auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count();
+}

@@ -1,0 +1,9 @@
+// Fixture: virtual-clock time from the engine is the sanctioned source.
+struct Engine {
+  unsigned long now() const { return now_; }
+  unsigned long now_ = 0;
+};
+
+unsigned long elapsed(const Engine& eng, unsigned long start) {
+  return eng.now() - start;
+}

@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Run clang-tidy over the tree and diff against the committed baseline.
+
+The baseline (tools/lint/clang_tidy_baseline.txt) makes adoption
+incremental: existing findings are grandfathered, NEW findings fail. Each
+baseline line is a normalized finding key:
+
+    <path>:<check-name>:<message-hash8>
+
+Line numbers are deliberately absent so unrelated edits above a
+grandfathered finding don't churn the baseline; fixing the finding removes
+its line (run with --update and commit the shrunk file).
+
+Usage:
+  run_clang_tidy.py --build-dir build            # diff against baseline
+  run_clang_tidy.py --build-dir build --update   # rewrite the baseline
+
+Exit codes: 0 ok, 1 new findings (or tool failure), 77 clang-tidy missing
+(skipped — the local container has no clang; CI installs it).
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import re
+import shutil
+import subprocess
+import sys
+
+ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), "..", ".."))
+BASELINE = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                        "clang_tidy_baseline.txt")
+SCAN_DIRS = ("src", "bench", "tests", "examples")
+
+_DIAG_RE = re.compile(
+    r"^(?P<path>[^\s:][^:]*):(?P<line>\d+):(?P<col>\d+): "
+    r"(?:warning|error): (?P<msg>.*?) \[(?P<check>[\w.,-]+)\]$")
+
+
+def finding_key(path: str, check: str, msg: str) -> str:
+    rel = os.path.relpath(path, ROOT).replace(os.sep, "/")
+    h = hashlib.sha256(msg.strip().encode()).hexdigest()[:8]
+    return f"{rel}:{check}:{h}"
+
+
+def collect(build_dir: str, jobs: int) -> list:
+    with open(os.path.join(build_dir, "compile_commands.json")) as f:
+        cdb = json.load(f)
+    files = sorted({e["file"] for e in cdb
+                    if os.path.relpath(e["file"], ROOT)
+                    .replace(os.sep, "/").startswith(SCAN_DIRS)})
+    if not files:
+        print("run_clang_tidy: no files under src/bench/tests/examples in "
+              "the compile database", file=sys.stderr)
+        return []
+    keys = []
+    # Chunk to keep command lines bounded; clang-tidy parallelizes per file.
+    for i in range(0, len(files), 16):
+        chunk = files[i:i + 16]
+        proc = subprocess.run(
+            ["clang-tidy", "-p", build_dir, "--quiet", *chunk],
+            capture_output=True, text=True)
+        for line in proc.stdout.splitlines():
+            m = _DIAG_RE.match(line)
+            if m:
+                keys.append(finding_key(m.group("path"), m.group("check"),
+                                        m.group("msg")))
+        if proc.returncode not in (0, 1):
+            sys.stderr.write(proc.stderr)
+    _ = jobs
+    return sorted(set(keys))
+
+
+def main(argv: list) -> int:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--build-dir", default="build",
+                    help="build dir containing compile_commands.json")
+    ap.add_argument("--update", action="store_true",
+                    help="rewrite the baseline from the current findings")
+    ap.add_argument("-j", "--jobs", type=int, default=os.cpu_count() or 2)
+    args = ap.parse_args(argv)
+
+    if shutil.which("clang-tidy") is None:
+        print("run_clang_tidy: clang-tidy not installed; skipping "
+              "(CI installs it; locally: run inside the lint container)")
+        return 77
+
+    cdb = os.path.join(args.build_dir, "compile_commands.json")
+    if not os.path.exists(cdb):
+        print(f"run_clang_tidy: {cdb} missing — configure with "
+              "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON", file=sys.stderr)
+        return 1
+
+    current = collect(args.build_dir, args.jobs)
+
+    if args.update:
+        with open(BASELINE, "w") as f:
+            f.write("# clang-tidy suppression baseline — regenerate with\n"
+                    "#   tools/lint/run_clang_tidy.py --update\n"
+                    "# Each line grandfathers one pre-existing finding;\n"
+                    "# fixing a finding shrinks this file, never grows it.\n")
+            for k in current:
+                f.write(k + "\n")
+        print(f"run_clang_tidy: baseline updated ({len(current)} findings)")
+        return 0
+
+    baseline = set()
+    if os.path.exists(BASELINE):
+        with open(BASELINE) as f:
+            baseline = {ln.strip() for ln in f
+                        if ln.strip() and not ln.startswith("#")}
+
+    new = [k for k in current if k not in baseline]
+    fixed = sorted(baseline - set(current))
+    if fixed:
+        print(f"run_clang_tidy: {len(fixed)} baselined finding(s) no longer "
+              "fire — shrink the baseline with --update:")
+        for k in fixed:
+            print(f"  stale: {k}")
+    if new:
+        print(f"run_clang_tidy: {len(new)} NEW finding(s) vs baseline:")
+        for k in new:
+            print(f"  new: {k}")
+        return 1
+    print(f"run_clang_tidy: OK ({len(current)} findings, all baselined)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
