@@ -305,6 +305,7 @@ gpu::GpuTask<void> KvServer::writeTailBufs(gpu::KernelCtx& ctx, Seq& s,
                                            core::AgileLockChain& chain) {
   std::vector<core::AgileBufPtr> ptrs(cfg_.numLayers);
   core::IoBatch batch;
+  batch.setTenant(s.req.tenant);
   for (std::uint32_t l = 0; l < cfg_.numLayers; ++l) {
     ptrs[l].bindOwn(s.tailBufs[l]);
     AGILE_CHECK(batch.addWrite(cfg_.dev, blockLba(s.blocks[l][chunk]),
@@ -365,7 +366,8 @@ gpu::GpuTask<std::uint64_t> KvServer::readSharedChunk(
   // deduplicated by the Share Table (peer-buffer redirect) instead of each
   // paying an SSD read or a cache slot.
   core::AgileBufPtr ptr(s.shareBuf);
-  co_await ctrl_->asyncRead(ctx, cfg_.dev, blockLba(block), ptr, chain);
+  co_await ctrl_->asyncRead(ctx, cfg_.dev, blockLba(block), ptr, chain,
+                            s.req.tenant);
   const bool ok = co_await ctrl_->waitBuf(ctx, ptr);
   AGILE_CHECK_MSG(ok, "kv shared block read failed");
   const auto* words = ptr.as<const std::uint64_t>();
@@ -435,7 +437,7 @@ gpu::GpuTask<void> KvServer::decodeStep(gpu::KernelCtx& ctx, Seq& s,
       for (std::uint32_t c = 0; c < n; ++c) {
         s.specTokens.push_back(co_await ctrl_->submitPrefetch(
             ctx, cfg_.dev, blockLba(s.blocks[l + 1][c]), chain,
-            cfg_.speculativeDelayNs));
+            cfg_.speculativeDelayNs, s.req.tenant));
         ++stats_.speculativeIssued;
       }
     }
@@ -484,7 +486,7 @@ gpu::GpuTask<void> KvServer::decodeStep(gpu::KernelCtx& ctx, Seq& s,
     for (std::uint32_t c = 0; c < n; ++c) {
       s.specTokens.push_back(co_await ctrl_->submitPrefetch(
           ctx, cfg_.dev, blockLba(s.blocks[0][c]), chain,
-          cfg_.speculativeDelayNs));
+          cfg_.speculativeDelayNs, s.req.tenant));
       ++stats_.speculativeIssued;
     }
   }

@@ -27,6 +27,7 @@
 #include "core/ctrl.h"
 #include "core/host.h"
 #include "core/io_token.h"
+#include "qos/tenant.h"
 
 namespace agile::apps::kv {
 
@@ -103,6 +104,10 @@ struct KvRequest {
   std::uint64_t id = 0;
   std::vector<std::uint32_t> prompt;
   std::uint32_t maxNewTokens = 16;
+  // QoS identity: every SSD submission this request triggers (shared-chunk
+  // reads, tail-page batch writes, speculative prefetches) is attributed to
+  // this tenant for admission, WFQ, and per-tenant SLO accounting.
+  qos::TenantId tenant = qos::kHostTenant;
   // Test hook: force EOS once this many tokens were generated (in addition
   // to maxNewTokens and the data-dependent EOS), so cancel-on-termination
   // paths can be pinned to an exact step.

@@ -1,0 +1,79 @@
+#include "common/quantile.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/check.h"
+
+namespace agile {
+
+std::uint32_t QuantileSketch::bucketOf(std::uint64_t v) {
+  if (v < kSubBuckets) return static_cast<std::uint32_t>(v);
+  const std::uint32_t e = 63 - static_cast<std::uint32_t>(std::countl_zero(v));
+  const std::uint32_t sub =
+      static_cast<std::uint32_t>((v >> (e - kSubBits)) & (kSubBuckets - 1));
+  return (e - kSubBits + 1) * kSubBuckets + sub;
+}
+
+std::uint64_t QuantileSketch::bucketLo(std::uint32_t idx) {
+  const std::uint32_t g = idx / kSubBuckets;
+  const std::uint32_t sub = idx % kSubBuckets;
+  if (g == 0) return sub;
+  return static_cast<std::uint64_t>(kSubBuckets + sub) << (g - 1);
+}
+
+std::uint64_t QuantileSketch::bucketHi(std::uint32_t idx) {
+  const std::uint32_t g = idx / kSubBuckets;
+  if (g == 0) return bucketLo(idx) + 1;
+  return bucketLo(idx) + (1ull << (g - 1));
+}
+
+void QuantileSketch::record(std::uint64_t v) {
+  ++counts_[bucketOf(v)];
+  ++count_;
+  sum_ += v;
+  min_ = std::min(min_, v);
+  max_ = std::max(max_, v);
+}
+
+void QuantileSketch::merge(const QuantileSketch& other) {
+  for (std::uint32_t i = 0; i < kBuckets; ++i) counts_[i] += other.counts_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+std::uint64_t QuantileSketch::quantile(double q) const {
+  if (count_ == 0) return 0;
+  if (q <= 0.0) return min_;
+  if (q >= 1.0) return max_;
+  // Rank in (0, count]: the ceil(q*count)-th sample when buckets are exact.
+  const double target = q * static_cast<double>(count_);
+  std::uint64_t cum = 0;
+  for (std::uint32_t i = 0; i < kBuckets; ++i) {
+    if (counts_[i] == 0) continue;
+    const double before = static_cast<double>(cum);
+    cum += counts_[i];
+    if (static_cast<double>(cum) >= target) {
+      const double frac = (target - before) / static_cast<double>(counts_[i]);
+      const std::uint64_t lo = bucketLo(i);
+      const std::uint64_t width = bucketHi(i) - lo;
+      std::uint64_t off = static_cast<std::uint64_t>(frac *
+                                                     static_cast<double>(width));
+      if (off >= width) off = width - 1;  // frac == 1.0 stays in-bucket
+      return std::clamp(lo + off, min_, max_);
+    }
+  }
+  return max_;
+}
+
+void QuantileSketch::reset() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = ~0ull;
+  max_ = 0;
+}
+
+}  // namespace agile

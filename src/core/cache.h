@@ -72,6 +72,10 @@ inline constexpr std::uint64_t tagLba(std::uint64_t tag) {
 struct CacheLine {
   LineState state = LineState::kInvalid;
   bool evicting = false;  // BUSY because of a writeback, not a fill
+  // QoS space accounting: TenantId::value of the tenant whose claim last
+  // took this line (qos::kNoTenantValue when unowned). Maintained by
+  // AgileCtrl::noteLineOwner; the cache itself never reads it.
+  std::uint16_t tenant = 0xffff;
   std::uint64_t tag = kNoTag;
   std::byte* data = nullptr;
   AgileBuf* bufWaitHead = nullptr;

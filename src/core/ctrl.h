@@ -42,6 +42,8 @@
 #include "core/share_table.h"
 #include "gpu/exec.h"
 #include "nvme/defs.h"
+#include "qos/qos.h"
+#include "qos/tenant.h"
 
 namespace agile::core {
 
@@ -132,6 +134,9 @@ class AgileCtrl {
     cache_.resetStats();
     share_.resetStats();
     ops_.resetStats();
+    // Per-tenant QoS counters and latency sketches belong to the same
+    // measurement window as the controller's own stats.
+    if (qos::QosManager* q = host_->qosManager()) q->resetStats();
   }
 
   // ------------------------------------------------------- Method 1 ----
@@ -174,10 +179,12 @@ class AgileCtrl {
   // over the token surface's resolve step, minus the token bookkeeping.
   gpu::GpuTask<void> asyncRead(gpu::KernelCtx& ctx, std::uint32_t dev,
                                std::uint64_t lba, AgileBufPtr& buf,
-                               AgileLockChain& chain) {
+                               AgileLockChain& chain,
+                               qos::TenantId tenant = qos::kHostTenant) {
     nvme::Sqe cmd;
     Transaction txn;
     if (resolveRead(ctx, dev, lba, buf, &cmd, &txn)) {
+      txn.tenant = tenant;
       co_await issueToSsd(ctx, dev, cmd, txn, chain);
     }
   }
@@ -187,10 +194,12 @@ class AgileCtrl {
   // software cache is updated for coherency before the command is issued.
   gpu::GpuTask<void> asyncWrite(gpu::KernelCtx& ctx, std::uint32_t dev,
                                 std::uint64_t lba, AgileBufPtr& buf,
-                                AgileLockChain& chain) {
+                                AgileLockChain& chain,
+                                qos::TenantId tenant = qos::kHostTenant) {
     nvme::Sqe cmd;
     Transaction txn;
     co_await prepareWrite(ctx, dev, lba, buf, &cmd, &txn);
+    txn.tenant = tenant;
     co_await issueToSsd(ctx, dev, cmd, txn, chain);
   }
 
@@ -376,11 +385,12 @@ class AgileCtrl {
   AGILE_NODISCARD("the token is the only poll/wait/cancel handle")
   gpu::GpuTask<IoToken> submitRead(gpu::KernelCtx& ctx, std::uint32_t dev,
                                    std::uint64_t lba, AgileBufPtr& buf,
-                                   AgileLockChain& chain) {
+                                   AgileLockChain& chain,
+                                   qos::TenantId tenant = qos::kHostTenant) {
     ctx.charge(cost::kTokenAlloc);
     const IoToken t = ops_.alloc(IoOpKind::kRead);
     ++stats_.tokenSubmits;
-    co_await asyncRead(ctx, dev, lba, buf, chain);
+    co_await asyncRead(ctx, dev, lba, buf, chain, tenant);
     // Bind the tracked barrier after the resolve: a Share-Table hit
     // redirects the pointer at a peer's buffer, whose barrier covers the
     // in-flight fill.
@@ -392,12 +402,13 @@ class AgileCtrl {
   AGILE_NODISCARD("the token is the only poll/wait/cancel handle")
   gpu::GpuTask<IoToken> submitWrite(gpu::KernelCtx& ctx, std::uint32_t dev,
                                     std::uint64_t lba, AgileBufPtr& buf,
-                                    AgileLockChain& chain) {
+                                    AgileLockChain& chain,
+                                    qos::TenantId tenant = qos::kHostTenant) {
     ctx.charge(cost::kTokenAlloc);
     const IoToken t = ops_.alloc(IoOpKind::kWrite);
     ++stats_.tokenSubmits;
     ops_.get(t)->barrier = &buf.own()->barrier();
-    co_await asyncWrite(ctx, dev, lba, buf, chain);
+    co_await asyncWrite(ctx, dev, lba, buf, chain, tenant);
     co_return t;
   }
 
@@ -412,7 +423,8 @@ class AgileCtrl {
   gpu::GpuTask<IoToken> submitPrefetch(gpu::KernelCtx& ctx, std::uint32_t dev,
                                        std::uint64_t lba,
                                        AgileLockChain& chain,
-                                       SimTime speculativeDelayNs = 0) {
+                                       SimTime speculativeDelayNs = 0,
+                                       qos::TenantId tenant = qos::kHostTenant) {
     ctx.charge(cost::kTokenAlloc);
     const IoToken t = ops_.alloc(IoOpKind::kPrefetch);
     ++stats_.tokenSubmits;
@@ -433,9 +445,10 @@ class AgileCtrl {
         IoOp* op = ops_.get(t);
         op->line = line;
         op->pendingFills = 1;
+        noteLineOwner(cache_.line(line), tenant);
         if (speculativeDelayNs == 0) {
           co_await issueFill(ctx, dev, lba, cache_.line(line), chain,
-                             ops_.ref(t));
+                             ops_.ref(t), tenant);
           co_return t;
         }
         ++stats_.speculativePrefetches;
@@ -445,8 +458,8 @@ class AgileCtrl {
         const std::uint32_t slot = ops_.slotOf(t);
         const std::uint64_t gen = ops_.genOf(t);
         op->timer = host_->engine().scheduleAfter(
-            speculativeDelayNs, [this, line, dev, lba, slot, gen] {
-              pumpDeferred(line, dev, lba, slot, gen);
+            speculativeDelayNs, [this, line, dev, lba, slot, gen, tenant] {
+              pumpDeferred(line, dev, lba, slot, gen, tenant);
             });
         co_return t;
       }
@@ -496,6 +509,7 @@ class AgileCtrl {
           PendingCmd& pc = cmds[nCmds];
           pc.dev = e.dev;
           if (resolveRead(ctx, e.dev, e.lba, *e.buf, &pc.cmd, &pc.txn)) {
+            pc.txn.tenant = batch.tenant();
             ++nCmds;
           }
           break;
@@ -505,6 +519,7 @@ class AgileCtrl {
           PendingCmd& pc = cmds[nCmds];
           pc.dev = e.dev;
           co_await prepareWrite(ctx, e.dev, e.lba, *e.buf, &pc.cmd, &pc.txn);
+          pc.txn.tenant = batch.tenant();
           ++nCmds;
           break;
         }
@@ -515,7 +530,8 @@ class AgileCtrl {
           }
           ++stats_.prefetches;
           const bool claimed = co_await claimForBatchFill(
-              ctx, e.dev, e.lba, chain, &cmds[nCmds], ops_.ref(t));
+              ctx, e.dev, e.lba, chain, &cmds[nCmds], ops_.ref(t),
+              batch.tenant());
           if (claimed) {
             cmds[nCmds].dev = e.dev;
             ++ops_.get(t)->pendingFills;
@@ -633,6 +649,7 @@ class AgileCtrl {
       return false;  // demand attached: no longer speculative
     }
     if (!host_->engine().cancel(op->timer)) return false;  // already firing
+    noteLineOwner(l, qos::kNoTenant);
     cache_.releaseClaim(host_->engine(), op->line);
     ++stats_.prefetchCancelled;
     // Parked wait()ers must observe kCancelled (and report failure) before
@@ -671,13 +688,16 @@ class AgileCtrl {
 
   gpu::GpuTask<void> issueFill(gpu::KernelCtx& ctx, std::uint32_t dev,
                                std::uint64_t lba, CacheLine& line,
-                               AgileLockChain& chain, IoOpRef opRef = {}) {
+                               AgileLockChain& chain, IoOpRef opRef = {},
+                               qos::TenantId tenant = qos::kHostTenant) {
+    noteLineOwner(line, tenant);
     nvme::Sqe cmd = makeCmd(nvme::Opcode::kRead, lba,
                             host_->gpu().hbm().physAddr(line.data));
     Transaction txn;
     txn.kind = TxnKind::kCacheFill;
     txn.line = &line;
     txn.op = opRef;
+    txn.tenant = tenant;
     co_await issueToSsd(ctx, dev, cmd, txn, chain);
   }
 
@@ -696,11 +716,20 @@ class AgileCtrl {
 
   // SQ selection (§3.3.1): start from the warp-indexed queue pair of the
   // target SSD; on a full queue probe the device's other queues; if all are
-  // full, park until the service frees an entry.
+  // full, park until the service frees an entry. With QoS active, admission
+  // gates the submission first (token-bucket defer/reject), and with WFQ
+  // active the full-queue park is arbitrated by tenant virtual time.
   gpu::GpuTask<std::uint32_t> issueToSsd(gpu::KernelCtx& ctx,
                                          std::uint32_t dev, nvme::Sqe cmd,
                                          Transaction txn,
                                          AgileLockChain& chain) {
+    txn.submitNs = host_->engine().now();
+    qos::QosManager* q = host_->qosManager();
+    if (q != nullptr &&
+        !co_await admitSubmission(ctx, txn.tenant, nvme::kLbaBytes)) {
+      settleTransaction(host_->engine(), txn, nvme::Status::kCommandAborted);
+      co_return kNoSlot;
+    }
     QueuePairSet& qps = host_->queuePairs();
     const std::uint32_t first = qps.firstForSsd(dev);
     const std::uint32_t n = qps.countForSsd(dev);
@@ -719,6 +748,7 @@ class AgileCtrl {
         ctx.charge(cost::kSqeAlloc);
         const std::uint32_t slot = sq.tryAlloc();
         if (slot == kNoSlot) continue;
+        if (q != nullptr) q->onGrant(txn.tenant, nvme::kLbaBytes);
         co_await issueOnSlot(ctx, sq, slot, cmd, txn, chain);
         co_return slot;
       }
@@ -729,13 +759,21 @@ class AgileCtrl {
         ctx.charge(cost::kSqeAlloc);
         const std::uint32_t slot = sq.tryAlloc();
         if (slot != kNoSlot) {
+          if (q != nullptr) q->onGrant(txn.tenant, nvme::kLbaBytes);
           co_await issueOnSlot(ctx, sq, slot, cmd, txn, chain);
           co_return slot;
         }
       }
       // Every queue of this SSD is full: wait for the service (not another
       // user thread) to release an entry — the §2.3.1 deadlock cannot form.
-      co_await ctx.parkOn(qps.sqs[first + preferred]->freeWaiters);
+      // Under active WFQ, park per tenant so the wake order follows virtual
+      // time instead of FIFO arrival.
+      if (q != nullptr && q->wfqActive()) {
+        q->noteBacklog(txn.tenant);
+        co_await ctx.parkOn(q->sqWaiters(txn.tenant, dev));
+      } else {
+        co_await ctx.parkOn(qps.sqs[first + preferred]->freeWaiters);
+      }
     }
   }
 
@@ -900,7 +938,8 @@ class AgileCtrl {
   gpu::GpuTask<bool> claimForBatchFill(gpu::KernelCtx& ctx, std::uint32_t dev,
                                        std::uint64_t lba,
                                        AgileLockChain& chain,
-                                       PendingCmd* outCmd, IoOpRef opRef) {
+                                       PendingCmd* outCmd, IoOpRef opRef,
+                                       qos::TenantId tenant) {
     const std::uint64_t tag = makeTag(dev, lba);
     std::uint32_t lineIdx = 0;
     switch (co_await claimLine(ctx, tag, chain, kPrefetchClaimBudget,
@@ -909,12 +948,14 @@ class AgileCtrl {
         co_return false;  // present or in flight: coalesced
       case ClaimResult::kClaimed: {
         CacheLine& line = cache_.line(lineIdx);
+        noteLineOwner(line, tenant);
         outCmd->cmd = makeCmd(nvme::Opcode::kRead, lba,
                               host_->gpu().hbm().physAddr(line.data));
         outCmd->txn = Transaction{};
         outCmd->txn.kind = TxnKind::kCacheFill;
         outCmd->txn.line = &line;
         outCmd->txn.op = opRef;
+        outCmd->txn.tenant = tenant;
         co_return true;
       }
       case ClaimResult::kExhausted:
@@ -953,11 +994,28 @@ class AgileCtrl {
     nvme::Sqe devCmds[IoBatch::kMaxEntries];
     Transaction devTxns[IoBatch::kMaxEntries];
     std::uint32_t devN = 0;
+    const SimTime submitNs = host_->engine().now();
     for (std::uint32_t i = 0; i < nCmds; ++i) {
       if (cmds[i].dev != dev) continue;
       devCmds[devN] = cmds[i].cmd;
       devTxns[devN] = cmds[i].txn;
+      devTxns[devN].submitNs = submitNs;
       ++devN;
+    }
+    if (devN == 0) co_return;
+
+    // Admission for the whole device run at once (one batch = one tenant):
+    // a rejected run settles every transaction with the admission error.
+    qos::QosManager* q = host_->qosManager();
+    const qos::TenantId tenant = devTxns[0].tenant;
+    if (q != nullptr &&
+        !co_await admitSubmission(
+            ctx, tenant, devN * static_cast<std::uint32_t>(nvme::kLbaBytes))) {
+      for (std::uint32_t i = 0; i < devN; ++i) {
+        settleTransaction(host_->engine(), devTxns[i],
+                          nvme::Status::kCommandAborted);
+      }
+      co_return;
     }
 
     std::uint32_t done = 0;
@@ -973,8 +1031,16 @@ class AgileCtrl {
       if (got == 0) {
         // Ring full: wait for the service to release entries, then continue
         // with the remainder (its doorbell counts as a new run).
-        co_await ctx.parkOn(sq.freeWaiters);
+        if (q != nullptr && q->wfqActive()) {
+          q->noteBacklog(tenant);
+          co_await ctx.parkOn(q->sqWaiters(tenant, dev));
+        } else {
+          co_await ctx.parkOn(sq.freeWaiters);
+        }
         continue;
+      }
+      if (q != nullptr) {
+        q->onGrant(tenant, got * static_cast<std::uint32_t>(nvme::kLbaBytes));
       }
       co_await issueOnSlots(ctx, sq, slots, devCmds + done, devTxns + done,
                             got, chain);
@@ -990,7 +1056,7 @@ class AgileCtrl {
   // A cancelled op never reaches here (cancel kills the timer first).
   void pumpDeferred(std::uint32_t lineIdx, std::uint32_t dev,
                     std::uint64_t lba, std::uint32_t slot,
-                    std::uint64_t gen) {
+                    std::uint64_t gen, qos::TenantId tenant) {
     CacheLine& line = cache_.line(lineIdx);
     nvme::Sqe cmd = makeCmd(nvme::Opcode::kRead, lba,
                             host_->gpu().hbm().physAddr(line.data));
@@ -998,9 +1064,15 @@ class AgileCtrl {
     txn.kind = TxnKind::kCacheFill;
     txn.line = &line;
     txn.op = IoOpRef{&ops_, slot, gen};
+    txn.tenant = tenant;
+    txn.submitNs = host_->engine().now();
+    // Speculative fills are host-pumped engine events: they cannot park on
+    // admission, so they bypass the token bucket (the cancellation window
+    // already bounds speculation) but still pay WFQ virtual time below.
     QueuePairSet& qps = host_->queuePairs();
     const std::uint32_t first = qps.firstForSsd(dev);
     const std::uint32_t n = qps.countForSsd(dev);
+    qos::QosManager* q = host_->qosManager();
     std::uint32_t skipped = 0;
     for (std::uint32_t k = 0; k < n; ++k) {
       AgileSq& sq = *qps.sqs[first + (deferredSqCursor_ + k) % n];
@@ -1011,6 +1083,7 @@ class AgileCtrl {
       if (tryIssueFromHost(sq, cmd, txn)) {
         deferredSqCursor_ = (deferredSqCursor_ + k + 1) % n;
         ++stats_.deferredIssues;
+        if (q != nullptr) q->onGrant(tenant, nvme::kLbaBytes);
         return;
       }
     }
@@ -1022,15 +1095,21 @@ class AgileCtrl {
         if (tryIssueFromHost(sq, cmd, txn)) {
           deferredSqCursor_ = (deferredSqCursor_ + k + 1) % n;
           ++stats_.deferredIssues;
+          if (q != nullptr) q->onGrant(tenant, nvme::kLbaBytes);
           return;
         }
       }
     }
-    // Every queue of this SSD is full: re-pump when one frees an entry.
-    qps.sqs[first + deferredSqCursor_ % n]->freeWaiters.park(
-        [this, lineIdx, dev, lba, slot, gen] {
-          pumpDeferred(lineIdx, dev, lba, slot, gen);
-        });
+    // Every queue of this SSD is full: re-pump when one frees an entry
+    // (through the tenant's WFQ wait list when arbitration is active).
+    sim::WaitList* parkOn = &qps.sqs[first + deferredSqCursor_ % n]->freeWaiters;
+    if (q != nullptr && q->wfqActive()) {
+      q->noteBacklog(tenant);
+      parkOn = &q->sqWaiters(tenant, dev);
+    }
+    parkOn->park([this, lineIdx, dev, lba, slot, gen, tenant] {
+      pumpDeferred(lineIdx, dev, lba, slot, gen, tenant);
+    });
   }
 
   // Propagate a Modified shared buffer into the software cache (becomes a
@@ -1050,6 +1129,7 @@ class AgileCtrl {
         case ProbeOutcome::kClaimed: {
           // Local fill from the buffer — no SSD round trip.
           CacheLine& l = cache_.line(r.line);
+          noteLineOwner(l, qos::kHostTenant);
           ctx.charge(cache_.costs().lineCopy);
           std::memcpy(l.data, buf.data(), nvme::kLbaBytes);
           l.clearBusy(LineState::kModified);
@@ -1070,6 +1150,41 @@ class AgileCtrl {
       }
     }
     ++stats_.exhaustedRetries;  // degraded: the propagation is dropped
+  }
+
+  // Token-bucket admission loop: park-and-retry until the tenant's bucket
+  // covers `bytes`, or the per-submission defer budget runs out (false =
+  // rejected; the caller settles the transaction with the admission error).
+  gpu::GpuTask<bool> admitSubmission(gpu::KernelCtx& ctx, qos::TenantId tenant,
+                                     std::uint32_t bytes) {
+    qos::QosManager* q = host_->qosManager();
+    AGILE_CHECK(q != nullptr);
+    std::uint32_t defers = 0;
+    for (;;) {
+      SimTime readyAt = 0;
+      switch (q->tryAdmit(tenant, bytes, defers, &readyAt)) {
+        case qos::Admission::kAdmit:
+          co_return true;
+        case qos::Admission::kReject:
+          co_return false;
+        case qos::Admission::kDefer:
+          ++defers;
+          q->armAdmitTimer(tenant, readyAt);
+          co_await ctx.parkOn(q->admitWaiters(tenant));
+          break;
+      }
+    }
+  }
+
+  // d4n-style cache-space accounting: a line's owner changes exactly when a
+  // tenant claims it (fill, propagation) or a cancel releases the claim, so
+  // QosManager::cacheLines(t) counts the lines a tenant currently holds in
+  // the shared cache. No-op (beyond the stored owner id) without QoS.
+  void noteLineOwner(CacheLine& line, qos::TenantId t) {
+    if (qos::QosManager* q = host_->qosManager()) {
+      q->onCacheLineOwner(line.tenant, t.value);
+    }
+    line.tenant = t.value;
   }
 
   static nvme::Sqe makeCmd(nvme::Opcode op, std::uint64_t lba,

@@ -43,6 +43,10 @@ void AgileHost::initNvme() {
   if (cfg_.retry.enabled()) {
     retry_ = std::make_unique<RetryController>(engine_, qps_, cfg_.retry);
   }
+  if (cfg_.qos.active()) {
+    qos_ = std::make_unique<qos::QosManager>(
+        engine_, cfg_.qos, static_cast<std::uint32_t>(ssds_.size()));
+  }
   for (std::uint32_t s = 0; s < ssds_.size(); ++s) {
     for (std::uint32_t q = 0; q < cfg_.queuePairsPerSsd; ++q) {
       auto* sqRing = gpu_.hbm().alloc<nvme::Sqe>(depth).data();
@@ -62,6 +66,7 @@ void AgileHost::initNvme() {
       sq->watchdog.assign(depth, sim::TimerId{});
       sq->cmdGen.assign(depth, 0);
       sq->retry = retry_.get();
+      sq->qos = qos_.get();
       sq->qpIndex = static_cast<std::uint32_t>(qps_.sqs.size());
       qps_.sqs.push_back(std::move(sq));
 
@@ -143,7 +148,15 @@ IoHealthStats AgileHost::ioHealth() const {
     h.cooldownProbes = retry_->cooldownProbes();
     h.pendingRetries = retry_->pendingRetries();
   }
+  if (qos_ != nullptr) {
+    h.admissionDefers = qos_->totalAdmissionDefers();
+    h.admissionRejects = qos_->totalAdmissionRejects();
+  }
   return h;
+}
+
+void AgileHost::resetStats() {
+  if (qos_ != nullptr) qos_->resetStats();
 }
 
 bool AgileHost::drainIo() {

@@ -43,6 +43,10 @@ struct HostConfig {
   // default (maxAttempts == 0). Watchdog-expiry retries additionally need
   // ioTimeoutNs != 0 to trigger.
   RetryPolicy retry;
+  // Multi-tenant QoS (admission control, WFQ, per-tenant SLO telemetry);
+  // inactive by default — no QosManager is built, every hook stays null,
+  // and figure reproductions are byte-identical.
+  qos::QosConfig qos;
 };
 
 // Aggregated I/O robustness telemetry (see AgileHost::ioHealth).
@@ -57,6 +61,9 @@ struct IoHealthStats {
   std::uint32_t quarantinedQps = 0;    // currently quarantined
   std::uint32_t parkedSlots = 0;       // CIDs awaiting a late device answer
   std::uint32_t pendingRetries = 0;    // commands between attempts
+  // QoS admission outcomes, aggregated across tenants (0 when QoS is off).
+  std::uint64_t admissionDefers = 0;   // park-and-retry admission waits
+  std::uint64_t admissionRejects = 0;  // defer budget exhausted -> aborted
 };
 
 class AgileHost {
@@ -126,6 +133,14 @@ class AgileHost {
   // Null unless HostConfig::retry.enabled().
   RetryController* retryController() { return retry_.get(); }
 
+  // Null unless HostConfig::qos.active(); built by initNvme().
+  qos::QosManager* qosManager() { return qos_.get(); }
+
+  // Reset measurement-window state: per-tenant QoS counters and latency
+  // sketches (control state — bucket commitments, WFQ virtual time, cache
+  // occupancy — is preserved; see QosManager::resetStats).
+  void resetStats();
+
  private:
   HostConfig cfg_;
   sim::Engine engine_;
@@ -133,6 +148,7 @@ class AgileHost {
   std::vector<std::unique_ptr<nvme::SsdController>> ssds_;
   QueuePairSet qps_;
   std::unique_ptr<RetryController> retry_;
+  std::unique_ptr<qos::QosManager> qos_;
   std::unique_ptr<StagingPool> staging_;
   std::unique_ptr<AgileService> service_;
   gpu::KernelHandle serviceKernel_;

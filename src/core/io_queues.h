@@ -21,6 +21,8 @@
 #include "core/lock.h"
 #include "nvme/defs.h"
 #include "nvme/ssd.h"
+#include "qos/qos.h"
+#include "qos/tenant.h"
 #include "sim/engine.h"
 
 namespace agile::core {
@@ -60,6 +62,11 @@ struct Transaction {
   // Re-issue count of the bounded retry tier; rides the transaction across
   // re-issues so the budget is per logical command, not per attempt.
   std::uint8_t attempt = 0;
+  // Multi-tenant QoS: the submitting tenant and the virtual submit time.
+  // Both ride the transaction across retries/failovers, so per-tenant
+  // latency is submit-to-settle of the logical command, not of an attempt.
+  qos::TenantId tenant = qos::kHostTenant;
+  SimTime submitNs = 0;
 };
 
 // Bounded retry / backoff / failover policy layered on the per-command
@@ -122,6 +129,10 @@ struct AgileSq {
 
   // --- bounded retry tier (HostConfig::retry; null when disabled) ---
   RetryController* retry = nullptr;
+  // --- multi-tenant QoS (HostConfig::qos; null when inactive) ---
+  // Owned by the AgileHost; completions report per-tenant latency/bytes and
+  // route slot-free wakeups through WFQ arbitration when weights differ.
+  qos::QosManager* qos = nullptr;
   std::uint32_t qpIndex = 0;          // this SQ's index in QueuePairSet::sqs
   // Consecutive watchdog expiries; reset by any successful completion.
   std::uint32_t consecTimeouts = 0;
@@ -406,7 +417,11 @@ inline void applyCompletion(sim::Engine& engine, AgileSq& sq,
       sq.state[slot] = SqeState::kEmpty;
       AGILE_CHECK(sq.live > 0);
       --sq.live;
-      sq.freeWaiters.notifyOne(engine);
+      if (sq.qos != nullptr) {
+        sq.qos->onSlotFree(engine, sq.ssdIdx, sq.freeWaiters);
+      } else {
+        sq.freeWaiters.notifyOne(engine);
+      }
       return;
     }
     status = nvme::Status::kCommandAborted;
@@ -432,10 +447,22 @@ inline void applyCompletion(sim::Engine& engine, AgileSq& sq,
       sq.retry->onSuccess(sq, txn);
     }
     settleTransaction(engine, txn, status);
+    // Per-tenant SLO telemetry: successful settles record achieved bytes
+    // and submit-to-settle latency (errored commands would skew the SLO
+    // sketch; they surface through admission/retry counters instead).
+    if (sq.qos != nullptr && status == nvme::Status::kSuccess) {
+      sq.qos->onComplete(txn.tenant, nvme::kLbaBytes,
+                         engine.now() - txn.submitNs);
+    }
   }
   // A freed SQE may unblock an issuer parked on the full queue (§3.2.1's
   // deadlock elimination: the service, not the user thread, releases).
-  sq.freeWaiters.notifyOne(engine);
+  // Under active WFQ the wake is arbitrated by tenant virtual time.
+  if (sq.qos != nullptr) {
+    sq.qos->onSlotFree(engine, sq.ssdIdx, sq.freeWaiters);
+  } else {
+    sq.freeWaiters.notifyOne(engine);
+  }
 }
 
 // --- Algorithm 2: serialization process in SQs -----------------------------

@@ -28,6 +28,7 @@
 #include "common/check.h"
 #include "core/buf.h"
 #include "nvme/defs.h"
+#include "qos/tenant.h"
 #include "sim/engine.h"
 
 namespace agile::core {
@@ -111,6 +112,11 @@ class IoBatch {
   std::uint32_t size() const { return n_; }
   bool empty() const { return n_ == 0; }
   void clear() { n_ = 0; }
+
+  /// The submitting tenant; one batch belongs to one tenant (QoS admission
+  /// and WFQ treat the batch's per-device runs as that tenant's work).
+  void setTenant(qos::TenantId t) { tenant_ = t; }
+  qos::TenantId tenant() const { return tenant_; }
   const Entry& entry(std::uint32_t i) const {
     AGILE_DCHECK(i < n_);
     return entries_[i];
@@ -162,6 +168,7 @@ class IoBatch {
 
   Entry entries_[kMaxEntries];
   std::uint32_t n_ = 0;
+  qos::TenantId tenant_ = qos::kHostTenant;
 };
 
 /// One pooled asynchronous op. Slots are recycled through a free list;

@@ -1,0 +1,167 @@
+#include "qos/qos.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+
+namespace agile::qos {
+
+QosManager::TenantState::TenantState(const TenantConfig& c,
+                                     std::uint32_t devices)
+    : cfg(c), sqWaiters(devices) {
+  AGILE_CHECK_MSG(cfg.weight > 0.0, "tenant weight must be positive");
+  if (cfg.rateBytesPerSec > 0.0) {
+    bucket = std::make_unique<sim::TokenBucket>(cfg.rateBytesPerSec,
+                                                std::max(cfg.burstBytes, 1.0));
+  }
+}
+
+bool QosManager::TenantState::anyBacklog() const {
+  for (const auto& wl : sqWaiters) {
+    if (!wl.empty()) return true;
+  }
+  return false;
+}
+
+QosManager::QosManager(sim::Engine& engine, const QosConfig& cfg,
+                       std::uint32_t devices)
+    : engine_(&engine), cfg_(cfg) {
+  AGILE_CHECK_MSG(!cfg_.tenants.empty(), "QosManager needs >= 1 tenant");
+  AGILE_CHECK_MSG(cfg_.tenants.size() < kNoTenantValue,
+                  "too many tenants for TenantId");
+  tenants_.reserve(cfg_.tenants.size());
+  for (const auto& tc : cfg_.tenants) {
+    tenants_.push_back(std::make_unique<TenantState>(tc, devices));
+  }
+  // WFQ only reorders wakeups when weights actually differ; with uniform
+  // weights the FIFO fallback is already fair and stays byte-identical.
+  wfqActive_ = cfg_.enabled &&
+               std::any_of(cfg_.tenants.begin(), cfg_.tenants.end(),
+                           [&](const TenantConfig& tc) {
+                             return tc.weight != cfg_.tenants[0].weight;
+                           });
+}
+
+Admission QosManager::tryAdmit(TenantId t, std::uint32_t bytes,
+                               std::uint32_t priorDefers, SimTime* readyAt) {
+  TenantState& s = state(t);
+  if (!s.bucket) {
+    ++s.stats.admitted;
+    return Admission::kAdmit;
+  }
+  const SimTime now = engine_->now();
+  const SimTime at = s.bucket->peek(now, static_cast<double>(bytes));
+  if (at <= now) {
+    s.bucket->reserve(now, static_cast<double>(bytes));
+    ++s.stats.admitted;
+    return Admission::kAdmit;
+  }
+  if (priorDefers >= cfg_.maxAdmissionDefers) {
+    ++s.stats.admissionRejects;
+    return Admission::kReject;
+  }
+  ++s.stats.admissionDefers;
+  if (readyAt != nullptr) *readyAt = at;
+  return Admission::kDefer;
+}
+
+void QosManager::armAdmitTimer(TenantId t, SimTime readyAt) {
+  TenantState& s = state(t);
+  // Keep the earliest pending wake; a later readyAt rides the armed timer
+  // (the woken submissions re-peek and re-park if tokens are still short).
+  if (s.admitTimer && s.admitWakeAt <= readyAt) return;
+  if (s.admitTimer) engine_->cancel(s.admitTimer);
+  s.admitWakeAt = readyAt;
+  s.admitTimer = engine_->scheduleAt(readyAt, [this, t] {
+    TenantState& ts = state(t);
+    ts.admitTimer = sim::TimerId{};
+    ts.admitWaiters.notifyAll(*engine_);
+  });
+}
+
+void QosManager::noteBacklog(TenantId t) {
+  TenantState& s = state(t);
+  // Start-time fair queueing re-entry rule: virt = max(virt, v(t)) where
+  // the system virtual time v(t) is the minimum virt over ALL backlogged
+  // tenants — including this one. A continuously busy tenant (its own
+  // lanes still parked) is its own floor and is never clamped; only a
+  // tenant re-entering from idle forfeits banked credit. Excluding self
+  // here would lift the minimum-virt tenant to the second minimum on every
+  // park and bleed away exactly the lag that encodes its weight share.
+  double floor = std::numeric_limits<double>::infinity();
+  for (const auto& other : tenants_) {
+    if (other->anyBacklog()) floor = std::min(floor, other->virt);
+  }
+  if (floor != std::numeric_limits<double>::infinity() && s.virt < floor) {
+    s.virt = floor;
+  }
+}
+
+void QosManager::onGrant(TenantId t, std::uint32_t bytes) {
+  if (!wfqActive_) return;
+  TenantState& s = state(t);
+  s.virt += static_cast<double>(bytes) / s.cfg.weight;
+}
+
+void QosManager::onSlotFree(sim::Engine& engine, std::uint32_t dev,
+                            sim::WaitList& fallback) {
+  if (wfqActive_) {
+    TenantState* best = nullptr;
+    for (const auto& s : tenants_) {
+      if (s->sqWaiters[dev].empty()) continue;
+      // Strict < ties to the lowest tenant id (vector order), keeping the
+      // wake sequence deterministic under replay.
+      if (best == nullptr || s->virt < best->virt) best = s.get();
+    }
+    if (best != nullptr) {
+      best->sqWaiters[dev].notifyOne(engine);
+      return;
+    }
+  }
+  fallback.notifyOne(engine);
+}
+
+void QosManager::onComplete(TenantId t, std::uint32_t bytes,
+                            SimTime latencyNs) {
+  TenantState& s = state(t);
+  ++s.stats.completedIos;
+  s.stats.completedBytes += bytes;
+  s.stats.latencyNs.record(latencyNs);
+}
+
+void QosManager::onCacheLineOwner(std::uint16_t prevOwner,
+                                  std::uint16_t newOwner) {
+  if (prevOwner == newOwner) return;
+  if (prevOwner != kNoTenantValue && prevOwner < tenants_.size()) {
+    --tenants_[prevOwner]->cacheLines;
+  }
+  if (newOwner != kNoTenantValue && newOwner < tenants_.size()) {
+    ++tenants_[newOwner]->cacheLines;
+  }
+}
+
+std::uint64_t QosManager::totalAdmissionDefers() const {
+  std::uint64_t total = 0;
+  for (const auto& s : tenants_) total += s->stats.admissionDefers;
+  return total;
+}
+
+std::uint64_t QosManager::totalAdmissionRejects() const {
+  std::uint64_t total = 0;
+  for (const auto& s : tenants_) total += s->stats.admissionRejects;
+  return total;
+}
+
+void QosManager::resetStats() {
+  for (const auto& s : tenants_) {
+    s->stats.admitted = 0;
+    s->stats.admissionDefers = 0;
+    s->stats.admissionRejects = 0;
+    s->stats.completedIos = 0;
+    s->stats.completedBytes = 0;
+    s->stats.latencyNs.reset();
+  }
+}
+
+}  // namespace agile::qos

@@ -1,0 +1,37 @@
+// TenantId: the multi-tenant identity carried on every submission through
+// the AGILE stack (AgileCtrl::submit*, IoBatch descriptors, kvcache
+// KvServer requests). A strong type rather than a bare integer so the
+// agile-lint `tenant-default` check can flag submission paths that silently
+// drop the tenant by constructing a raw default TenantId.
+//
+// Conventions:
+//   * kHostTenant (id 0) is the explicit "host / unattributed" tenant used
+//     by legacy single-tenant paths; name it rather than default-construct.
+//   * kNoTenant marks state not owned by any tenant (e.g. a cache line
+//     whose owner was released); it never appears on a submission.
+#pragma once
+
+#include <cstdint>
+
+namespace agile::qos {
+
+struct TenantId {
+  std::uint16_t value = 0;
+
+  friend constexpr bool operator==(TenantId a, TenantId b) {
+    return a.value == b.value;
+  }
+  friend constexpr bool operator!=(TenantId a, TenantId b) {
+    return a.value != b.value;
+  }
+};
+
+// The explicit host-attributed tenant for paths that predate multi-tenancy
+// (Listing-1 shims, array reads, service-internal I/O).
+inline constexpr TenantId kHostTenant{0};
+
+// Owner sentinel for per-tenant resource accounting (never submitted).
+inline constexpr std::uint16_t kNoTenantValue = 0xffff;
+inline constexpr TenantId kNoTenant{kNoTenantValue};
+
+}  // namespace agile::qos

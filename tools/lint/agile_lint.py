@@ -565,6 +565,43 @@ def check_share_owner_reuse(ctx: FileContext) -> Iterator[Finding]:
                     break
 
 
+_TENANT_DEFAULT_CTOR_RE = re.compile(
+    r"\bTenantId\s*(?:\{\s*\}|\(\s*\))"
+)
+_TENANT_BARE_DECL_RE = re.compile(
+    r"^\s*(?:const\s+|constexpr\s+|static\s+)*(?:agile::)?(?:qos::)?"
+    r"TenantId\s+\w+\s*;\s*$"
+)
+
+
+@check(
+    "tenant-default",
+    "protocol",
+    "a raw default-constructed TenantId on a submission path silently "
+    "attributes the I/O to tenant 0 — name qos::kHostTenant (or a real id) "
+    "so the attribution is a decision, not an accident",
+)
+def check_tenant_default(ctx: FileContext) -> Iterator[Finding]:
+    # The defining header legitimately default-initializes the value member
+    # and declares comparison parameters; everything else must name its
+    # tenant explicitly.
+    if ctx.relpath.endswith("qos/tenant.h"):
+        return
+    for i, line in enumerate(ctx.stripped_lines, start=1):
+        if _TENANT_DEFAULT_CTOR_RE.search(line):
+            yield Finding(
+                ctx.relpath, i, "tenant-default",
+                "default-constructed TenantId — write qos::kHostTenant (or "
+                "the submitting tenant's id) so the attribution is explicit",
+            )
+        elif _TENANT_BARE_DECL_RE.match(line):
+            yield Finding(
+                ctx.relpath, i, "tenant-default",
+                "bare TenantId declaration default-initializes to tenant 0 "
+                "— initialize from qos::kHostTenant or a real tenant id",
+            )
+
+
 # --------------------------------------------------------------------------
 # Hygiene family
 # --------------------------------------------------------------------------

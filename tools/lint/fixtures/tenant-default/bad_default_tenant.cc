@@ -1,0 +1,18 @@
+// Fixture: raw default TenantId construction on submission paths. All
+// three spellings silently attribute the I/O to tenant 0 — the reader
+// cannot tell a deliberate host-tenant submission from a forgotten plumb.
+namespace qos {
+struct TenantId { unsigned short value = 0; };
+}  // namespace qos
+
+struct Ctrl {
+  int asyncRead(unsigned long lba, void* buf, qos::TenantId t);
+};
+
+int submitWithoutTenant(Ctrl* c, void* buf) {
+  qos::TenantId who;
+  int a = c->asyncRead(0x10, buf, who);
+  int b = c->asyncRead(0x20, buf, qos::TenantId{});
+  int d = c->asyncRead(0x30, buf, qos::TenantId());
+  return a + b + d;
+}

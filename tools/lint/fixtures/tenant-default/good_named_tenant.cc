@@ -1,0 +1,21 @@
+// Fixture: every submission names its tenant — either the explicit host
+// tenant constant or a computed per-lane id. Defaulted parameters that
+// name the constant are fine: the attribution is visible at the API.
+namespace qos {
+struct TenantId { unsigned short value = 0; };
+inline constexpr TenantId kHostTenant{0};
+}  // namespace qos
+
+struct Ctrl {
+  int asyncRead(unsigned long lba, void* buf,
+                qos::TenantId t = qos::kHostTenant);
+};
+
+int submitAttributed(Ctrl* c, void* buf, unsigned tid) {
+  const qos::TenantId me{static_cast<unsigned short>(tid % 4)};
+  qos::TenantId host = qos::kHostTenant;
+  int a = c->asyncRead(0x10, buf, me);
+  int b = c->asyncRead(0x20, buf, host);
+  int d = c->asyncRead(0x30, buf, qos::TenantId{3});
+  return a + b + d;
+}

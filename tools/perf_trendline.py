@@ -7,17 +7,22 @@ CI runs this after the quick bench suite:
         --history .perf/history.jsonl --commit "$GITHUB_SHA" \
         >> "$GITHUB_STEP_SUMMARY"
 
-It appends one JSON line per (commit, bench) to the history file (kept
-across runs via actions/cache) and prints a GitHub-flavored markdown table
-of events/sec per workload for the most recent commits, so performance
-regressions are visible in the job summary before they compound.
+It appends one JSON line per (commit, bench) to the history file (merged
+across runs via the `perf-history` CI artifact: each run downloads the
+latest non-expired copy, appends, re-uploads; read_history dedupes by
+(commit, bench)) and prints a GitHub-flavored markdown table of events/sec
+per workload for the most recent commits, so performance regressions are
+visible in the job summary before they compound.
 
 Covered payloads: BENCH_engine.json (engine_stress), BENCH_gather.json
 (async_gather), BENCH_cache.json (cache_probe), BENCH_fault.json
 (fault_storm), BENCH_kvcache.json (fig_kvcache, where events are generated
-tokens). Any workload entry with a
-new_events_per_sec field lands in the table; the geomean column falls back
-to a bench's headline speedup when no geomean is reported.
+tokens), BENCH_qos.json (fig_qos, whole-replay throughput). Any workload
+entry with a new_events_per_sec field lands in the table, as does a
+bench-level new_events_per_sec for payloads without per-workload rates;
+the geomean column falls back through the benches' headline metrics
+(speedup_at_8_shards, best_speedup, goodput_retention,
+tokens_per_sec_gated, share_accuracy_gated) when no geomean is reported.
 
 Stdlib only; also usable locally:  python3 tools/perf_trendline.py .
 """
@@ -51,6 +56,10 @@ def summarize(payload):
         eps = w.get("new_events_per_sec")
         if eps is not None:
             flat[w["name"]] = float(eps)
+    if not flat and payload.get("new_events_per_sec") is not None:
+        # Benches reporting one whole-run rate (fig_qos's replay legs share
+        # a single host) get a single "replay" column.
+        flat["replay"] = float(payload["new_events_per_sec"])
     geomean = payload.get("geomean_speedup")
     if geomean is None:
         # Headline fallbacks for benches without a per-workload geomean.
@@ -64,6 +73,10 @@ def summarize(payload):
         # rate, not a ratio, but it keeps the trendline column populated).
         tps = payload.get("tokens_per_sec_gated")
         geomean = tps / 1e3 if tps is not None else None
+    if geomean is None:
+        # fig_qos headline: WFQ share accuracy at the gated saturated leg
+        # (1 - max relative share error; 1.0 = shares exactly track weights).
+        geomean = payload.get("share_accuracy_gated")
     return {
         "workloads": flat,
         "geomean_speedup": geomean,
