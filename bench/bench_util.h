@@ -31,6 +31,9 @@ struct TestbedConfig {
   std::uint32_t serviceWarps = 2;
   std::uint64_t ssdCapacityLbas = 1ull << 22;  // 16 GiB of pages
   std::uint32_t payloadBytes = 0;  // 0 = full 4 KiB DMA payloads
+  // Last N devices use the network-attached remote-flash latency profile
+  // (nvme::remoteFlashConfig): mixed local/remote stripe groups.
+  std::uint32_t remoteSsds = 0;
 };
 
 inline std::unique_ptr<core::AgileHost> makeHost(const TestbedConfig& tb) {
@@ -43,6 +46,9 @@ inline std::unique_ptr<core::AgileHost> makeHost(const TestbedConfig& tb) {
   auto host = std::make_unique<core::AgileHost>(cfg);
   for (std::uint32_t i = 0; i < tb.ssds; ++i) {
     nvme::SsdConfig ssd;
+    if (tb.remoteSsds > 0 && i >= tb.ssds - tb.remoteSsds) {
+      ssd = nvme::remoteFlashConfig();
+    }
     ssd.name = "nvme" + std::to_string(i);
     ssd.capacityLbas = tb.ssdCapacityLbas;
     ssd.payloadBytes = tb.payloadBytes;

@@ -67,32 +67,40 @@ class NativeAccessor {
   std::span<const T> data_;
 };
 
-// AGILE array view over one SSD: synchronous reads plus the asynchronous
-// token surface. All element->page math goes through core::elemAddr so the
-// sync and async paths cannot drift.
+// AGILE array view over an SSD stripe group: synchronous reads plus the
+// asynchronous token surface. All element->(device, page) math goes through
+// core::elemAddr so the sync and async paths cannot drift. The legacy
+// (ctrl, dev) constructor pins a single device — a width-1 stripe, bit-exact
+// with the pre-stripe accessor; the (ctrl) form adopts the controller's
+// configured StripeMap so the same kernel spreads over N devices unchanged.
 template <class T, class Ctrl = core::DefaultCtrl>
 class AgileAccessor {
  public:
-  AgileAccessor(Ctrl& ctrl, std::uint32_t dev) : ctrl_(&ctrl), dev_(dev) {}
+  AgileAccessor(Ctrl& ctrl, std::uint32_t dev)
+      : ctrl_(&ctrl), stripe_{1, 1, dev} {}
+  explicit AgileAccessor(Ctrl& ctrl)
+      : ctrl_(&ctrl), stripe_(ctrl.stripe()) {}
 
   gpu::GpuTask<T> read(gpu::KernelCtx& ctx, std::uint64_t idx,
                        core::AgileLockChain& chain) {
-    co_return co_await ctrl_->template arrayRead<T>(ctx, dev_, idx, chain);
+    co_return co_await ctrl_->template arrayReadAt<T>(
+        ctx, core::elemAddr<T>(idx, stripe_), chain);
   }
 
   // Warp-converged prefetch of the page holding element `idx` (first-level
   // coalescing elects a leader; requires converged lanes).
   gpu::GpuTask<void> prefetchElem(gpu::KernelCtx& ctx, std::uint64_t idx,
                                   core::AgileLockChain& chain) {
-    co_await ctrl_->prefetch(ctx, dev_, core::elemAddr<T>(idx).lba, chain);
+    const auto at = core::elemAddr<T>(idx, stripe_);
+    co_await ctrl_->prefetch(ctx, at.dev, at.lba, chain);
   }
 
   // Divergence-safe prefetch (no warp collective) for per-row pipelines.
   gpu::GpuTask<void> prefetchElemDivergent(gpu::KernelCtx& ctx,
                                            std::uint64_t idx,
                                            core::AgileLockChain& chain) {
-    co_await ctrl_->prefetchDivergent(ctx, dev_, core::elemAddr<T>(idx).lba,
-                                      chain);
+    const auto at = core::elemAddr<T>(idx, stripe_);
+    co_await ctrl_->prefetchDivergent(ctx, at.dev, at.lba, chain);
   }
 
   // Speculative prefetch with a cancellation window: the SSD command is
@@ -101,8 +109,9 @@ class AgileAccessor {
   gpu::GpuTask<core::IoToken> prefetchElemSpeculative(
       gpu::KernelCtx& ctx, std::uint64_t idx, core::AgileLockChain& chain,
       SimTime delayNs) {
-    co_return co_await ctrl_->submitPrefetch(
-        ctx, dev_, core::elemAddr<T>(idx).lba, chain, delayNs);
+    const auto at = core::elemAddr<T>(idx, stripe_);
+    co_return co_await ctrl_->submitPrefetch(ctx, at.dev, at.lba, chain,
+                                             delayNs);
   }
 
   // Token-based async read of the whole page holding element `idx` into a
@@ -112,9 +121,8 @@ class AgileAccessor {
                                         std::uint64_t idx,
                                         core::AgileBufPtr& buf,
                                         core::AgileLockChain& chain) {
-    co_return co_await ctrl_->submitRead(ctx, dev_,
-                                         core::elemAddr<T>(idx).lba, buf,
-                                         chain);
+    const auto at = core::elemAddr<T>(idx, stripe_);
+    co_return co_await ctrl_->submitRead(ctx, at.dev, at.lba, buf, chain);
   }
 
   // Element slot within its page (pairs with readAsync).
@@ -135,8 +143,8 @@ class AgileAccessor {
   // single word access.
   bool shardSaturated(gpu::KernelCtx& ctx, std::uint64_t idx) {
     auto& cache = ctrl_->cache();
-    const std::uint32_t s =
-        cache.shardOfTag(core::makeTag(dev_, core::elemAddr<T>(idx).lba));
+    const auto at = core::elemAddr<T>(idx, stripe_);
+    const std::uint32_t s = cache.shardOfTag(core::makeTag(at.dev, at.lba));
     ctx.charge(cost::kWordAccess);
     return cache.busyLines(s) * kPressureDen >=
            cache.shardLineCount(s) * kPressureNum;
@@ -161,16 +169,17 @@ class AgileAccessor {
           if (adaptive && ahead > i && shardSaturated(ctx, idxs[ahead])) {
             break;  // shard full: issuing more would evict our own window
           }
-          co_await ctrl_->prefetchDivergent(
-              ctx, dev_, core::elemAddr<T>(idxs[ahead]).lba, chain);
+          const auto pf = core::elemAddr<T>(idxs[ahead], stripe_);
+          co_await ctrl_->prefetchDivergent(ctx, pf.dev, pf.lba, chain);
         }
       }
-      out[i] = co_await ctrl_->template arrayRead<T>(ctx, dev_, idxs[i],
-                                                     chain);
+      out[i] = co_await ctrl_->template arrayReadAt<T>(
+          ctx, core::elemAddr<T>(idxs[i], stripe_), chain);
     }
   }
 
   Ctrl& ctrl() { return *ctrl_; }
+  const core::StripeMap& stripe() const { return stripe_; }
 
   static constexpr gpu::IoApiPath kRegPath = gpu::IoApiPath::kAgileArrayRead;
   static constexpr gpu::IoApiPath kGatherRegPath =
@@ -178,7 +187,7 @@ class AgileAccessor {
 
  private:
   Ctrl* ctrl_;
-  std::uint32_t dev_;
+  core::StripeMap stripe_;
 };
 
 // BaM synchronous reads over one SSD.

@@ -47,6 +47,23 @@
 
 namespace agile::core {
 
+// Striped element -> device layout. Logical LBAs are dealt round-robin in
+// `stripeLbas`-sized units across `devices` controllers starting at
+// `baseDev`:
+//
+//   unit  = logicalLba / stripeLbas
+//   dev   = baseDev + unit % devices
+//   lba   = (unit / devices) * stripeLbas + logicalLba % stripeLbas
+//
+// devices == 1 reduces to the identity mapping (dev = baseDev,
+// lba = logicalLba) regardless of stripeLbas — the single-device path is
+// bit-exactly the pre-stripe layout.
+struct StripeMap {
+  std::uint32_t devices = 1;     // stripe width (number of controllers)
+  std::uint32_t stripeLbas = 1;  // contiguous LBAs per stripe unit
+  std::uint32_t baseDev = 0;     // first device of the stripe group
+};
+
 struct CtrlConfig {
   std::uint32_t cacheLines = 1024;
   // Cache shard count; 0 derives a power-of-two default from cacheLines
@@ -56,6 +73,10 @@ struct CtrlConfig {
   bool warpCoalescing = true;
   CacheCosts cacheCosts = agileCacheCosts();
   std::uint32_t maxArrayRetries = 100000;
+  // Element->device striping for the array / accessor surface. The default
+  // (devices = 1) is the paper's single-device layout; widening it deals
+  // stripe units round-robin across the host's SSDs (see StripeMap).
+  StripeMap stripe;
 };
 
 struct CtrlStats {
@@ -81,18 +102,28 @@ struct CtrlStats {
   std::uint64_t exhaustedRetries = 0;
 };
 
-// Element index -> (LBA, byte offset) mapping of the array view. One shared
-// helper so the array API and the accessors' prefetch paths cannot drift.
+// Element index -> (device, LBA, byte offset) mapping of the array view. One
+// shared helper so the array API and the accessors' prefetch paths cannot
+// drift, and the single choke point where striping happens: all
+// element->device routing must go through here (agile-lint: device-literal).
 struct ElemAddr {
+  std::uint32_t dev;
   std::uint64_t lba;
   std::uint32_t byteOff;
 };
 
 template <class T>
-constexpr ElemAddr elemAddr(std::uint64_t elemIdx) {
+constexpr ElemAddr elemAddr(std::uint64_t elemIdx, const StripeMap& map = {}) {
   const std::uint64_t byteOff = elemIdx * sizeof(T);
-  return {byteOff / nvme::kLbaBytes,
-          static_cast<std::uint32_t>(byteOff % nvme::kLbaBytes)};
+  const std::uint64_t logicalLba = byteOff / nvme::kLbaBytes;
+  const auto off = static_cast<std::uint32_t>(byteOff % nvme::kLbaBytes);
+  if (map.devices <= 1) return {map.baseDev, logicalLba, off};
+  const std::uint64_t unit = logicalLba / map.stripeLbas;
+  const auto dev =
+      map.baseDev + static_cast<std::uint32_t>(unit % map.devices);
+  const std::uint64_t devLba =
+      (unit / map.devices) * map.stripeLbas + logicalLba % map.stripeLbas;
+  return {dev, devLba, off};
 }
 
 // Combined point-in-time statistics snapshot (copyable; pairs with
@@ -125,6 +156,7 @@ class AgileCtrl {
   IoOpPool& tokens() { return ops_; }
   const CtrlStats& stats() const { return stats_; }
   std::uint32_t lineBytes() const { return nvme::kLbaBytes; }
+  const StripeMap& stripe() const { return cfg_.stripe; }
 
   CtrlSnapshot snapshot() const {
     return {stats_, cache_.stats(), share_.stats(), ops_.stats()};
@@ -277,8 +309,24 @@ class AgileCtrl {
   template <class T>
   gpu::GpuTask<T> arrayRead(gpu::KernelCtx& ctx, std::uint32_t dev,
                             std::uint64_t elemIdx, AgileLockChain& chain) {
+    ElemAddr at = elemAddr<T>(elemIdx);
+    at.dev = dev;
+    return arrayReadAt<T>(ctx, at, chain);
+  }
+
+  // Striped synchronous read: the element's device and per-device LBA are
+  // resolved through cfg.stripe instead of being caller-pinned.
+  template <class T>
+  gpu::GpuTask<T> arrayRead(gpu::KernelCtx& ctx, std::uint64_t elemIdx,
+                            AgileLockChain& chain) {
+    return arrayReadAt<T>(ctx, elemAddr<T>(elemIdx, cfg_.stripe), chain);
+  }
+
+  template <class T>
+  gpu::GpuTask<T> arrayReadAt(gpu::KernelCtx& ctx, ElemAddr at,
+                              AgileLockChain& chain) {
     ++stats_.arrayReads;
-    const ElemAddr at = elemAddr<T>(elemIdx);
+    const std::uint32_t dev = at.dev;
     AGILE_CHECK_MSG(at.byteOff + sizeof(T) <= nvme::kLbaBytes,
                     "element straddles SSD pages");
     const std::uint64_t tag = makeTag(dev, at.lba);
@@ -343,8 +391,24 @@ class AgileCtrl {
   gpu::GpuTask<void> arrayWrite(gpu::KernelCtx& ctx, std::uint32_t dev,
                                 std::uint64_t elemIdx, T value,
                                 AgileLockChain& chain) {
+    ElemAddr at = elemAddr<T>(elemIdx);
+    at.dev = dev;
+    return arrayWriteAt<T>(ctx, at, value, chain);
+  }
+
+  // Striped synchronous store through cfg.stripe.
+  template <class T>
+  gpu::GpuTask<void> arrayWrite(gpu::KernelCtx& ctx, std::uint64_t elemIdx,
+                                T value, AgileLockChain& chain) {
+    return arrayWriteAt<T>(ctx, elemAddr<T>(elemIdx, cfg_.stripe), value,
+                           chain);
+  }
+
+  template <class T>
+  gpu::GpuTask<void> arrayWriteAt(gpu::KernelCtx& ctx, ElemAddr at, T value,
+                                  AgileLockChain& chain) {
     ++stats_.arrayWrites;
-    const ElemAddr at = elemAddr<T>(elemIdx);
+    const std::uint32_t dev = at.dev;
     AGILE_CHECK(at.byteOff + sizeof(T) <= nvme::kLbaBytes);
     const std::uint64_t tag = makeTag(dev, at.lba);
 
@@ -698,7 +762,11 @@ class AgileCtrl {
     txn.line = &line;
     txn.op = opRef;
     txn.tenant = tenant;
-    co_await issueToSsd(ctx, dev, cmd, txn, chain);
+    // Fills stay shard-local: the line's home shard selects its affine QP
+    // slice on the target device (no-op at one shard).
+    co_await issueToSsd(ctx, dev, cmd, txn, chain,
+                        cache_.shardOfTag(makeTag(dev, lba)),
+                        cache_.shardCount());
   }
 
   gpu::GpuTask<void> issueWriteback(gpu::KernelCtx& ctx, CacheLine& line,
@@ -711,7 +779,10 @@ class AgileCtrl {
     Transaction txn;
     txn.kind = TxnKind::kCacheWriteback;
     txn.line = &line;
-    co_await issueToSsd(ctx, dev, cmd, txn, chain);
+    // Writebacks follow the evicted line's shard so the eviction traffic of
+    // one shard cannot fill another shard's queues.
+    co_await issueToSsd(ctx, dev, cmd, txn, chain,
+                        cache_.shardOfTag(line.tag), cache_.shardCount());
   }
 
   // SQ selection (§3.3.1): start from the warp-indexed queue pair of the
@@ -719,10 +790,19 @@ class AgileCtrl {
   // full, park until the service frees an entry. With QoS active, admission
   // gates the submission first (token-bucket defer/reject), and with WFQ
   // active the full-queue park is arbitrated by tenant virtual time.
+  //
+  // Cache-originated traffic (fills, writebacks) passes its shard identity:
+  // shard s of S owns the contiguous slice [s*n/S, (s+1)*n/S) of the home
+  // device's n queue pairs (never empty), so one shard's fills, completions,
+  // and full-queue parks never touch another shard's queues. shardTotal <= 1
+  // selects over the device's full QP range — bit-identical to the
+  // pre-affinity behavior (every figure bench runs a single shard).
   gpu::GpuTask<std::uint32_t> issueToSsd(gpu::KernelCtx& ctx,
                                          std::uint32_t dev, nvme::Sqe cmd,
                                          Transaction txn,
-                                         AgileLockChain& chain) {
+                                         AgileLockChain& chain,
+                                         std::uint32_t shard = 0,
+                                         std::uint32_t shardTotal = 1) {
     txn.submitNs = host_->engine().now();
     qos::QosManager* q = host_->qosManager();
     if (q != nullptr &&
@@ -731,8 +811,16 @@ class AgileCtrl {
       co_return kNoSlot;
     }
     QueuePairSet& qps = host_->queuePairs();
-    const std::uint32_t first = qps.firstForSsd(dev);
-    const std::uint32_t n = qps.countForSsd(dev);
+    std::uint32_t first = qps.firstForSsd(dev);
+    std::uint32_t n = qps.countForSsd(dev);
+    if (shardTotal > 1 && n > 1) {
+      const auto off = static_cast<std::uint32_t>(
+          std::uint64_t{shard} * n / shardTotal);
+      const auto end = static_cast<std::uint32_t>(
+          std::uint64_t{shard + 1} * n / shardTotal);
+      first += off;
+      n = end > off ? end - off : 1;
+    }
     const std::uint32_t preferred =
         (ctx.globalThreadIdx() / gpu::kWarpSize) % n;
     for (;;) {
@@ -753,7 +841,7 @@ class AgileCtrl {
         co_return slot;
       }
       if (skipped == n) {
-        // Every QP of this SSD is quarantined: issue on the preferred one
+        // Every QP of this slice is quarantined: issue on the preferred one
         // anyway rather than stalling the caller for a whole cooldown.
         AgileSq& sq = *qps.sqs[first + preferred];
         ctx.charge(cost::kSqeAlloc);
@@ -764,7 +852,7 @@ class AgileCtrl {
           co_return slot;
         }
       }
-      // Every queue of this SSD is full: wait for the service (not another
+      // Every queue of this slice is full: wait for the service (not another
       // user thread) to release an entry — the §2.3.1 deadlock cannot form.
       // Under active WFQ, park per tenant so the wake order follows virtual
       // time instead of FIFO arrival.

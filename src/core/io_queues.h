@@ -209,12 +209,40 @@ struct QueuePairSet {
   std::vector<std::unique_ptr<AgileSq>> sqs;
   std::vector<std::unique_ptr<AgileCq>> cqs;
 
+  // Per-device {first index, count} tables. Queue pairs are registered in
+  // SSD-major contiguous order (initNvme), so the lookup every submission
+  // performs is O(1) instead of an O(#QPs) scan — at 8 devices x 32 QPs the
+  // scan was on every issueToSsd/issueBatchToSsd/pumpDeferred hot path.
+  // buildDeviceTables() is called once after registration; an empty table
+  // (hand-built sets in unit tests) falls back to the scan.
+  std::vector<std::uint32_t> devFirst;
+  std::vector<std::uint32_t> devCount;
+
   std::uint32_t count() const {
     return static_cast<std::uint32_t>(sqs.size());
   }
 
+  void buildDeviceTables() {
+    devFirst.clear();
+    devCount.clear();
+    for (std::uint32_t i = 0; i < sqs.size(); ++i) {
+      const std::uint32_t dev = sqs[i]->ssdIdx;
+      if (dev >= devFirst.size()) {
+        devFirst.resize(dev + 1, kNoSlot);
+        devCount.resize(dev + 1, 0);
+      }
+      if (devFirst[dev] == kNoSlot) devFirst[dev] = i;
+      AGILE_CHECK_MSG(devFirst[dev] + devCount[dev] == i,
+                      "queue pairs of one SSD must be contiguous");
+      ++devCount[dev];
+    }
+  }
+
   // Queue pairs serving a given SSD (contiguous by construction).
   std::uint32_t firstForSsd(std::uint32_t ssdIdx) const {
+    if (ssdIdx < devFirst.size() && devFirst[ssdIdx] != kNoSlot) {
+      return devFirst[ssdIdx];
+    }
     for (std::uint32_t i = 0; i < sqs.size(); ++i) {
       if (sqs[i]->ssdIdx == ssdIdx) return i;
     }
@@ -222,6 +250,9 @@ struct QueuePairSet {
     return 0;
   }
   std::uint32_t countForSsd(std::uint32_t ssdIdx) const {
+    if (ssdIdx < devCount.size() && devFirst[ssdIdx] != kNoSlot) {
+      return devCount[ssdIdx];
+    }
     std::uint32_t n = 0;
     for (const auto& sq : sqs) n += sq->ssdIdx == ssdIdx;
     return n;

@@ -124,6 +124,22 @@ void SsdController::fetchFrom(std::uint32_t qid) {
   qp.fetchBusyUntil = fetchAt;
 }
 
+SimTime SsdController::fabricDelay(std::uint64_t key) {
+  if (cfg_.fabricLatencyNs == 0) return 0;
+  // Remote tier: one fabric round trip per command, jittered with the same
+  // deterministic hash shape as media latency but from its own seed, so a
+  // remote device's timing stream is independent of the local jitter draw.
+  const SimTime base = cfg_.fabricLatencyNs;
+  if (cfg_.fabricJitter <= 0.0) return base;
+  std::uint64_t h = (key ^ cfg_.fabricSeed) * 0x2545f4914f6cdd1dull;
+  h ^= h >> 29;
+  const double centered =
+      (static_cast<double>(h & 0xffff) / 65535.0 - 0.5) * 2.0;
+  return base +
+         static_cast<SimTime>(centered * cfg_.fabricJitter *
+                              static_cast<double>(base));
+}
+
 SimTime SsdController::jitteredLatency(SimTime base, std::uint64_t key) {
   if (cfg_.latencyJitter <= 0.0) return base;
   // Deterministic per-command jitter derived from the LBA/CID mix.
@@ -175,13 +191,17 @@ void SsdController::executeCommand(std::uint32_t slot, SimTime fetchTime) {
   auto& bucket = isRead ? readBucket_ : writeBucket_;
   const SimTime serviceStart =
       bucket.reserve(fetchTime, static_cast<double>(pages));
+  const std::uint64_t cmdKey =
+      sqe.slba ^ (static_cast<std::uint64_t>(sqe.cid) << 40) ^ qid;
   const SimTime latency = jitteredLatency(
-      isRead ? cfg_.readLatencyNs : cfg_.writeLatencyNs,
-      sqe.slba ^ (static_cast<std::uint64_t>(sqe.cid) << 40) ^ qid);
+      isRead ? cfg_.readLatencyNs : cfg_.writeLatencyNs, cmdKey);
   // GC-pause storms and per-QP brownouts postpone service deterministically.
   const SimTime stormDelay =
       fault_ != nullptr ? fault_->extraLatency(serviceStart, qid) : 0;
-  const SimTime doneAt = serviceStart + stormDelay + latency;
+  // Remote tier: the fabric round trip rides on top of media latency (0 for
+  // direct-attached devices, leaving the local timing path untouched).
+  const SimTime doneAt =
+      serviceStart + stormDelay + fabricDelay(cmdKey) + latency;
 
   engine_->scheduleAt(doneAt, [this, slot] { finishCommand(slot); });
 }

@@ -53,7 +53,25 @@ struct SsdConfig {
   // Opt-in deterministic fault injection (transient errors, dropped
   // completions, latency storms). Disabled by default; see nvme/fault.h.
   FaultPlan fault;
+  // --- network-attached ("remote flash") tier ---
+  // Nonzero fabricLatencyNs models an NVMe-oF style device: every command
+  // pays an extra fabric round-trip on top of media latency, with its own
+  // seeded deterministic jitter (fabricJitter fraction of the base, hashed
+  // from fabricSeed and the command identity). 0 = direct-attached, and the
+  // timing path is bit-exactly the local model. Remote devices slot into a
+  // stripe group transparently — same queue pairs, same IoToken surface.
+  SimTime fabricLatencyNs = 0;
+  double fabricJitter = 0.0;
+  std::uint64_t fabricSeed = 0x5eedfab;
 };
+
+// A ~100 us-RTT remote-flash latency profile layered over `base`: the
+// stock local device plus a jittery fabric round trip.
+inline SsdConfig remoteFlashConfig(SsdConfig base = {}) {
+  base.fabricLatencyNs = 100_us;
+  base.fabricJitter = 0.10;
+  return base;
+}
 
 // One registered I/O queue pair as seen from the device side.
 struct QueuePair {
@@ -158,6 +176,8 @@ class SsdController {
   bool cqHasSpace(const QueuePair& qp) const;
   Status doDma(const Sqe& sqe);
   SimTime jitteredLatency(SimTime base, std::uint64_t key);
+  // Extra fabric round-trip of the remote tier (0 when direct-attached).
+  SimTime fabricDelay(std::uint64_t key);
 
   sim::Engine* engine_;
   SsdConfig cfg_;

@@ -84,7 +84,10 @@ void Engine::cleanFronts() {
 void Engine::migrateOverflow() {
   const std::uint64_t epoch =
       static_cast<std::uint64_t>(now_) >> kWheelHorizonBits;
-  while (!overflow_.empty()) {
+  // Fast path: drop cancelled tops, and return unless the heap front has
+  // entered the current epoch — the common case is one O(1) peek.
+  for (;;) {
+    if (overflow_.empty()) return;
     const HeapEntry top = overflow_.front();
     if (top.node->loc == Loc::kCancelled) {
       std::pop_heap(overflow_.begin(), overflow_.end(), HeapLater{});
@@ -93,14 +96,35 @@ void Engine::migrateOverflow() {
       continue;
     }
     if ((static_cast<std::uint64_t>(top.time) >> kWheelHorizonBits) != epoch) {
-      break;
+      return;
     }
-    std::pop_heap(overflow_.begin(), overflow_.end(), HeapLater{});
-    overflow_.pop_back();
-    --overflowCount_;
-    wheelPlace(top.node, static_cast<std::uint64_t>(top.node->time) ^
-                             static_cast<std::uint64_t>(now_));
+    break;
   }
+  // At least one live entry must migrate. An epoch rollover typically moves
+  // a large batch of timers at once (every in-flight NVMe latency timer
+  // landed in the same ~8.6 s epoch), and popping them one at a time costs
+  // an O(log N) sift each. Instead, partition the backing vector in one
+  // O(N) pass — place every current-epoch entry on the wheel, free the
+  // cancelled ones — and re-heapify the remainder once. Bucket placement
+  // order does not affect execution order: drainTick sorts each bucket by
+  // seq before firing, so the (time, seq) contract is preserved.
+  std::size_t keep = 0;
+  for (std::size_t i = 0; i < overflow_.size(); ++i) {
+    const HeapEntry e = overflow_[i];
+    if (e.node->loc == Loc::kCancelled) {
+      freeNode(e.node);
+      continue;
+    }
+    if ((static_cast<std::uint64_t>(e.time) >> kWheelHorizonBits) == epoch) {
+      --overflowCount_;
+      wheelPlace(e.node, static_cast<std::uint64_t>(e.node->time) ^
+                             static_cast<std::uint64_t>(now_));
+      continue;
+    }
+    overflow_[keep++] = e;
+  }
+  overflow_.resize(keep);
+  std::make_heap(overflow_.begin(), overflow_.end(), HeapLater{});
 }
 
 int Engine::findOccupied(unsigned level, std::size_t from) {

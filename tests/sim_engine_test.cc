@@ -452,6 +452,42 @@ TEST(EngineTest, OverflowHeapHandoff) {
   EXPECT_EQ(eng.now(), 3 * horizon + 7);
 }
 
+// Batched epoch migration: a large overflow population spanning several
+// epochs — with interleaved cancellations — must fire in exact (time, seq)
+// order. Exercises the O(N) partition path of migrateOverflow (many entries
+// of one epoch migrate at once) and the fast peek path between epochs.
+TEST(EngineTest, OverflowBatchMigrationKeepsOrder) {
+  Engine eng;
+  const SimTime horizon = SimTime{1} << Engine::kWheelHorizonBits;
+  std::vector<std::uint32_t> order;
+  std::vector<TimerId> ids;
+  std::uint64_t rng = 0x9e3779b97f4a7c15ull;
+  std::vector<std::pair<SimTime, std::uint32_t>> expected;
+  for (std::uint32_t i = 0; i < 600; ++i) {
+    rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+    // Epochs 1..3, pseudorandom offset inside the epoch.
+    const SimTime t = (1 + (rng >> 33) % 3) * horizon +
+                      static_cast<SimTime>((rng >> 8) % horizon);
+    ids.push_back(eng.scheduleAt(t, [&order, i] { order.push_back(i); }));
+    expected.emplace_back(t, i);
+  }
+  // Cancel every fifth timer while it still sits in the overflow heap.
+  for (std::uint32_t i = 0; i < 600; i += 5) {
+    EXPECT_TRUE(eng.cancel(ids[i]));
+    expected[i].second = ~0u;  // tombstone
+  }
+  eng.runToCompletion();
+  std::stable_sort(expected.begin(), expected.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;
+                   });
+  std::vector<std::uint32_t> want;
+  for (const auto& [t, i] : expected) {
+    if (i != ~0u) want.push_back(i);
+  }
+  EXPECT_EQ(order, want);
+}
+
 // runFor must not fire wheel/overflow events past the deadline even when
 // the deadline sits inside an otherwise-empty stretch of the wheel.
 TEST(EngineTest, RunForStopsInsideWheelGaps) {

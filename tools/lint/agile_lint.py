@@ -602,6 +602,43 @@ def check_tenant_default(ctx: FileContext) -> Iterator[Finding]:
             )
 
 
+_DEVICE_CALL_RE = re.compile(
+    r"\b(prefetch|prefetchDivergent|asyncRead|asyncWrite|submitRead|"
+    r"submitWrite|submitPrefetch|arrayRead|arrayReadCoalesced|arrayWrite|"
+    r"readElem|issueToSsd|issueBatchToSsd)\s*(?:<[^;(){}]*>)?\s*(\()"
+)
+_INT_LITERAL_RE = re.compile(r"^(?:0[xX][0-9a-fA-F]+|\d+)[uUlL]{0,3}$")
+
+
+@check(
+    "device-literal",
+    "protocol",
+    "a raw device-index literal on a submission path hard-wires the "
+    "single-device topology — element->device routing must come from the "
+    "striped core::elemAddr / StripeMap choke point so N-device arrays work "
+    "unchanged",
+    dirs=("src",),
+)
+def check_device_literal(ctx: FileContext) -> Iterator[Finding]:
+    # The striping refactor made core::elemAddr the one place an element
+    # resolves to a device; library code that pins `0` (or any literal) as
+    # the dev argument of a submission call silently reads device 0 of a
+    # striped array. Tests, benches, and examples legitimately pin devices,
+    # so the check scopes to src/. The dev argument is the one after ctx.
+    for m in _DEVICE_CALL_RE.finditer(ctx.stripped):
+        args = _call_args(ctx.stripped, m.start(2))
+        if len(args) < 2 or "ctx" not in args[0]:
+            continue
+        if _INT_LITERAL_RE.match(args[1]):
+            line = 1 + ctx.stripped.count("\n", 0, m.start())
+            yield Finding(
+                ctx.relpath, line, "device-literal",
+                f"{m.group(1)}() with literal device index '{args[1]}' — "
+                "route through core::elemAddr(idx, stripe).dev instead of "
+                "hard-wiring a device",
+            )
+
+
 # --------------------------------------------------------------------------
 # Hygiene family
 # --------------------------------------------------------------------------

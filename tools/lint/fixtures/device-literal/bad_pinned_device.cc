@@ -1,0 +1,17 @@
+// Fixture: submission paths with a hard-wired device-index literal. On a
+// striped array this silently reads device 0 (or 2) regardless of where the
+// StripeMap routed the element.
+struct Ctx {};
+struct Chain {};
+struct Buf {};
+struct Ctrl {
+  int arrayRead(Ctx& ctx, unsigned dev, unsigned long idx, Chain& c);
+  int submitRead(Ctx& ctx, unsigned dev, unsigned long lba, Buf& b, Chain& c);
+  void prefetch(Ctx& ctx, unsigned dev, unsigned long lba, Chain& c);
+};
+
+int pinned(Ctrl& ctrl, Ctx& ctx, Chain& chain, Buf& buf) {
+  ctrl.prefetch(ctx, 0, 17, chain);
+  int t = ctrl.submitRead(ctx, 2, 17, buf, chain);
+  return t + ctrl.arrayRead(ctx, 0, 99, chain);
+}

@@ -1,0 +1,24 @@
+// Fixture: element->device routing flows through the striped elemAddr
+// choke point; no literal device index reaches a submission call.
+struct Ctx {};
+struct Chain {};
+struct Buf {};
+struct ElemAddr {
+  unsigned dev;
+  unsigned long lba;
+};
+struct StripeMap {};
+ElemAddr elemAddr(unsigned long idx, const StripeMap& map);
+struct Ctrl {
+  int arrayRead(Ctx& ctx, unsigned dev, unsigned long idx, Chain& c);
+  int submitRead(Ctx& ctx, unsigned dev, unsigned long lba, Buf& b, Chain& c);
+  void prefetch(Ctx& ctx, unsigned dev, unsigned long lba, Chain& c);
+};
+
+int striped(Ctrl& ctrl, Ctx& ctx, Chain& chain, Buf& buf,
+            const StripeMap& stripe, unsigned long idx) {
+  const ElemAddr at = elemAddr(idx, stripe);
+  ctrl.prefetch(ctx, at.dev, at.lba, chain);
+  int t = ctrl.submitRead(ctx, at.dev, at.lba, buf, chain);
+  return t + ctrl.arrayRead(ctx, at.dev, idx, chain);
+}

@@ -17,12 +17,14 @@ visible in the job summary before they compound.
 Covered payloads: BENCH_engine.json (engine_stress), BENCH_gather.json
 (async_gather), BENCH_cache.json (cache_probe), BENCH_fault.json
 (fault_storm), BENCH_kvcache.json (fig_kvcache, where events are generated
-tokens), BENCH_qos.json (fig_qos, whole-replay throughput). Any workload
+tokens), BENCH_qos.json (fig_qos, whole-replay throughput),
+BENCH_scaleout.json (fig_scaleout, striped multi-SSD sweep). Any workload
 entry with a new_events_per_sec field lands in the table, as does a
 bench-level new_events_per_sec for payloads without per-workload rates;
 the geomean column falls back through the benches' headline metrics
 (speedup_at_8_shards, best_speedup, goodput_retention,
-tokens_per_sec_gated, share_accuracy_gated) when no geomean is reported.
+tokens_per_sec_gated, share_accuracy_gated, speedup_at_4_devices) when no
+geomean is reported.
 
 Stdlib only; also usable locally:  python3 tools/perf_trendline.py .
 """
@@ -77,6 +79,10 @@ def summarize(payload):
         # fig_qos headline: WFQ share accuracy at the gated saturated leg
         # (1 - max relative share error; 1.0 = shares exactly track weights).
         geomean = payload.get("share_accuracy_gated")
+    if geomean is None:
+        # fig_scaleout headline: aggregate-GB/s scaling of the striped
+        # data path at the gated 4-device point vs 1 device.
+        geomean = payload.get("speedup_at_4_devices")
     return {
         "workloads": flat,
         "geomean_speedup": geomean,
